@@ -1,0 +1,29 @@
+"""Benchmark-harness configuration.
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper
+(pytest-benchmark measures the harness; the regenerated rows land in
+``benchmark.extra_info`` and on stdout). Mapping results are shared
+through the experiments-level cache, so figure benches that consume the
+same mappings don't recompute them.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def one_shot(benchmark):
+    """Run an expensive harness exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return runner
+
+
+def attach(benchmark, result) -> None:
+    """Store a regenerated experiment's headline in the benchmark JSON."""
+    benchmark.extra_info["experiment"] = result.id
+    benchmark.extra_info["notes"] = list(result.notes)
+    print()
+    print(result.render())

@@ -1,0 +1,57 @@
+"""Benchmark + regeneration of the ablation studies."""
+
+from conftest import attach
+
+from repro.experiments import (
+    ablation_anneal,
+    ablation_island_size,
+    ablation_labeling,
+    ablation_levels,
+    ablation_multicycle,
+    ablation_topology,
+)
+
+
+def test_bench_ablation_island_size(one_shot, benchmark):
+    result = one_shot(ablation_island_size.run)
+    attach(benchmark, result)
+    assert result.table.rows
+
+
+def test_bench_ablation_labeling(one_shot, benchmark):
+    result = one_shot(ablation_labeling.run)
+    attach(benchmark, result)
+    assert 0.7 < result.data["avg_gain"] < 1.5
+
+
+def test_bench_ablation_levels(one_shot, benchmark):
+    result = one_shot(ablation_levels.run)
+    attach(benchmark, result)
+    assert len(result.table.rows) >= 3
+
+
+def test_bench_ablation_multicycle(one_shot, benchmark):
+    result = one_shot(ablation_multicycle.run)
+    attach(benchmark, result)
+    gains = result.series["efficiency gain"]
+    assert all(g > 1.0 for g in gains)
+
+
+def test_bench_ablation_topology(one_shot, benchmark):
+    result = one_shot(ablation_topology.run)
+    attach(benchmark, result)
+    gains = result.series["avg efficiency gain"]
+    assert all(g > 1.0 for g in gains)
+
+
+def test_bench_ablation_anneal(one_shot, benchmark):
+    result = one_shot(ablation_anneal.run)
+    attach(benchmark, result)
+    assert all(r >= 0 for r in result.series["cost reduction %"])
+
+
+def test_bench_ablation_window(one_shot, benchmark):
+    from repro.experiments import ablation_window
+    result = one_shot(ablation_window.run)
+    attach(benchmark, result)
+    assert len(result.series["perf/W ratio"]) >= 3

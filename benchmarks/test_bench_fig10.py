@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig 10 (average DVFS level)."""
+
+from conftest import attach
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(one_shot, benchmark):
+    result = one_shot(fig10.run)
+    attach(benchmark, result)
+    # Per-tile is the lower bound; ICED sits above it but far below
+    # the all-normal baseline (paper: 26% vs 35% vs 100%).
+    assert result.data["per_tile_dvfs_u1"] <= result.data["iced_u1"] + 0.05
+    assert result.data["iced_u1"] < 0.7 * result.data["baseline_u1"]

@@ -1,0 +1,17 @@
+"""Benchmark + regeneration of Fig 11 (power / energy-efficiency)."""
+
+from conftest import attach
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(one_shot, benchmark):
+    result = one_shot(fig11.run)
+    attach(benchmark, result)
+    # Headline: ICED more energy-efficient than the baseline (paper
+    # 1.32x at unroll 2) and than per-tile DVFS.
+    assert result.data["iced_u2"] < result.data["baseline_u2"]
+    assert result.data["iced_u2"] < result.data["per_tile_dvfs_u2"]
+    ratio = result.data["baseline_u2"] / result.data["iced_u2"]
+    benchmark.extra_info["iced_vs_baseline_u2"] = round(ratio, 3)
+    assert ratio > 1.1

@@ -1,0 +1,16 @@
+"""Benchmark + regeneration of Fig 12 (scalability of DVFS levels)."""
+
+from conftest import attach
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(one_shot, benchmark):
+    result = one_shot(fig12.run)
+    attach(benchmark, result)
+    iced = result.series["iced"]
+    per_tile = result.series["per_tile"]
+    # ICED tracks the per-tile lower bound across fabric sizes.
+    gaps = [i - p for i, p in zip(iced, per_tile)]
+    assert all(g >= -0.05 for g in gaps)
+    assert max(gaps) < 0.45

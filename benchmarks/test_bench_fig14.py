@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Fig 14 (cross-architecture landscape)."""
+
+from conftest import attach
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14(one_shot, benchmark):
+    result = one_shot(fig14.run)
+    attach(benchmark, result)
+    assert result.data["iced_mops"] > 0
+    assert result.data["iced_power_mw"] > 0

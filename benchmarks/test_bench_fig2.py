@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Fig 2 (baseline under-utilization)."""
+
+from conftest import attach
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(one_shot, benchmark):
+    result = one_shot(fig2.run)
+    attach(benchmark, result)
+    u1 = result.series["avg utilization (unroll 1)"]
+    assert u1[0] > u1[-1]  # utilization shrinks on larger fabrics

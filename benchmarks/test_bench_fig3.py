@@ -1,0 +1,12 @@
+"""Benchmark + regeneration of Fig 3 (motivating walk-through)."""
+
+from conftest import attach
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(one_shot, benchmark):
+    result = one_shot(fig3.run)
+    attach(benchmark, result)
+    powers = result.series["power_mw"]
+    assert all(p < powers[0] for p in powers[1:])

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig 4 (island-size performance sweep)."""
+
+from conftest import attach
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(one_shot, benchmark):
+    result = one_shot(fig4.run)
+    attach(benchmark, result)
+    geo = result.data["geomean"]
+    # 2x2 islands lose no performance relative to larger islands.
+    assert geo["2x2"] >= geo["4x4"] - 1e-9
+    assert geo["2x2"] >= geo["8x8"] - 1e-9

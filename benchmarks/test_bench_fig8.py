@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig 8 (area/power breakdown)."""
+
+import pytest
+from conftest import attach
+
+from repro.experiments import fig8
+
+
+def test_bench_fig8(one_shot, benchmark):
+    result = one_shot(fig8.run)
+    attach(benchmark, result)
+    area = result.data["area_mm2"]
+    fabric = sum(v for k, v in area.items() if k != "sram")
+    assert fabric == pytest.approx(6.63, rel=0.02)

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig 9 (utilization per strategy)."""
+
+from conftest import attach
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9(one_shot, benchmark):
+    result = one_shot(fig9.run)
+    attach(benchmark, result)
+    # The paper's headline shape: ICED well above the baseline at both
+    # unroll factors (2.3x / 1.6x in the paper).
+    assert result.data["iced_u1"] > 1.5 * result.data["baseline_u1"]
+    assert result.data["iced_u2"] > 1.3 * result.data["baseline_u2"]

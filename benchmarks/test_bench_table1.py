@@ -1,0 +1,11 @@
+"""Benchmark + regeneration of Table I (kernel suite synthesis)."""
+
+from conftest import attach
+
+from repro.experiments import table1
+
+
+def test_bench_table1(one_shot, benchmark):
+    result = one_shot(table1.run)
+    attach(benchmark, result)
+    assert result.data["mismatches"] == 0

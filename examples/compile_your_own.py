@@ -1,0 +1,103 @@
+"""Compile your own kernel: AST -> DFG -> mapping, functionally checked.
+
+Writes a small loop nest in the frontend language, lowers it with
+partial predication (the LLVM substitute of this reproduction), proves
+the lowering correct by running both the AST and the DFG on real data,
+then maps it onto the CGRA with DVFS awareness.
+
+Run:  python examples/compile_your_own.py
+"""
+
+import numpy as np
+
+from repro import CGRA, map_dvfs_aware, validate_mapping
+from repro.dfg import dfg_stats
+from repro.frontend import (
+    Accumulate,
+    Assign,
+    Bin,
+    Cmp,
+    Const,
+    For,
+    If,
+    Kernel,
+    Ref,
+    Var,
+    lower_kernel,
+    run_kernel_ast,
+    run_lowered_dfg,
+)
+
+
+def build_kernel() -> Kernel:
+    """Clipped correlation: out[i] = max(0, sum_j a[i+j] * b[j])."""
+    n, taps = 24, 4
+    return Kernel(
+        name="clipped_corr",
+        arrays={"a": n + taps, "b": taps, "out": n},
+        body=For("i", 0, n, [
+            Assign(Var("acc"), Const(0.0)),
+            For("j", 0, taps, [
+                Accumulate(Var("acc"), "+",
+                           Bin("*", Ref("a", Bin("+", Var("i"), Var("j"))),
+                               Ref("b", Var("j")))),
+            ]),
+            If(Cmp(">", Var("acc"), Const(0.0)),
+               then=[Assign(Ref("out", Var("i")), Var("acc"))],
+               orelse=[Assign(Ref("out", Var("i")), Const(0.0))]),
+        ]),
+    )
+
+
+def main() -> None:
+    kernel = build_kernel()
+    print(f"kernel: {kernel.name}, footprint "
+          f"{kernel.footprint_bytes()} bytes (SPM holds 32 KiB)")
+
+    # -- lower with loop flattening + partial predication --------------
+    lowered = lower_kernel(kernel, flatten=True)
+    stats = dfg_stats(lowered.dfg)
+    print(f"lowered: {stats.nodes} nodes, {stats.edges} edges, "
+          f"RecMII {stats.rec_mii}, {lowered.trip_count} iterations")
+
+    # -- prove the lowering preserves semantics -------------------------
+    rng = np.random.default_rng(0)
+    memory = {
+        name: rng.normal(size=size).tolist()
+        for name, size in kernel.arrays.items()
+    }
+    expected = run_kernel_ast(kernel, memory)
+    actual = run_lowered_dfg(lowered, memory)
+    error = max(
+        abs(x - y) for x, y in zip(expected["out"], actual.memory["out"])
+    )
+    print(f"AST vs DFG max abs error: {error:.3e}")
+    assert error < 1e-12
+
+    # -- map it onto the ICED fabric ------------------------------------
+    cgra = CGRA.build(6, 6)
+    mapping = map_dvfs_aware(lowered.dfg, cgra)
+    validate_mapping(mapping)
+    print(f"\n{mapping.summary()}")
+    print("island levels:",
+          {i: lv.name for i, lv in sorted(mapping.island_levels.items())})
+
+    # -- generate the bitstream and execute it on the machine model -----
+    from repro.machine import run_bitstream
+    from repro.mapper.bitstream import bitstream_for_lowered
+
+    bitstream = bitstream_for_lowered(mapping, lowered)
+    print(f"\nbitstream: {bitstream.words_used()} configuration words "
+          f"across {len(bitstream.words)} tiles (II={bitstream.ii})")
+    machine = run_bitstream(bitstream, memory, lowered.trip_count)
+    machine_error = max(
+        abs(x - y) for x, y in zip(expected["out"], machine.memory["out"])
+    )
+    print(f"machine-level execution: {machine.cycles} cycles, "
+          f"{machine.issues} issues, {machine.sends} sends, "
+          f"max abs error vs reference: {machine_error:.3e}")
+    assert machine_error < 1e-12
+
+
+if __name__ == "__main__":
+    main()

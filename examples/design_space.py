@@ -1,0 +1,76 @@
+"""Design-space exploration with the ICED framework.
+
+The paper positions ICED as a *framework*: island size, fabric size,
+DVFS level count and FU latencies are all parameters. This example
+sweeps a small design space for one workload mix and prints the
+Pareto-relevant corner of (performance, power, area) — the workflow an
+architect would run before committing to a configuration.
+
+Run:  python examples/design_space.py
+"""
+
+from repro import CGRA, load_kernel, map_baseline, map_dvfs_aware
+from repro.arch.dvfs import scaled_config
+from repro.errors import MappingError
+from repro.power import area_report, mapping_power
+
+WORKLOAD = ("fir", "spmv", "histogram")
+
+
+def evaluate(cgra: CGRA) -> tuple[float, float] | None:
+    """(geomean II, average power) of the workload on one design."""
+    ii_product, power_sum = 1.0, 0.0
+    for name in WORKLOAD:
+        try:
+            mapping = map_dvfs_aware(load_kernel(name), cgra)
+        except MappingError:
+            return None
+        ii_product *= mapping.ii
+        power_sum += mapping_power(mapping).total_mw
+    return ii_product ** (1 / len(WORKLOAD)), power_sum / len(WORKLOAD)
+
+
+def main() -> None:
+    print(f"workload: {', '.join(WORKLOAD)}\n")
+    print(f"{'design':<28}{'geo II':>8}{'power mW':>10}{'area mm2':>10}")
+
+    designs: list[tuple[str, CGRA]] = []
+    for size in (4, 6):
+        for island in ((1, 1), (2, 2), (3, 3)):
+            if island[0] > size:
+                continue
+            designs.append((
+                f"{size}x{size}, {island[0]}x{island[1]} islands",
+                CGRA.build(size, size, island_shape=island),
+            ))
+    designs.append((
+        "6x6, 2x2 islands, 4 levels",
+        CGRA.build(6, 6, dvfs=scaled_config(4)),
+    ))
+
+    rows = []
+    for label, cgra in designs:
+        result = evaluate(cgra)
+        if result is None:
+            print(f"{label:<28}{'(unmappable)':>8}")
+            continue
+        geo_ii, power = result
+        style = "per_tile" if cgra.islands[0].num_tiles == 1 else "island"
+        area = area_report(cgra, dvfs_style=style).total_mm2
+        rows.append((label, geo_ii, power, area))
+        print(f"{label:<28}{geo_ii:>8.2f}{power:>10.1f}{area:>10.2f}")
+
+    best = min(rows, key=lambda r: r[1] * r[2])  # naive II*power score
+    print(f"\nbest II*power trade-off: {best[0]}")
+
+    print("\nfor reference, the no-DVFS baseline on the paper's 6x6:")
+    cgra = CGRA.build(6, 6)
+    power_sum = 0.0
+    for name in WORKLOAD:
+        mapping = map_baseline(load_kernel(name), cgra)
+        power_sum += mapping_power(mapping).total_mw
+    print(f"  baseline average power: {power_sum / len(WORKLOAD):.1f} mW")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+"""The ICED command-line toolchain.
+
+Usage::
+
+    python -m repro kernels                       # list Table I
+    python -m repro fabric --cgra 8x8 --island 2x2
+    python -m repro map fir --strategy iced --show schedule,levels
+    python -m repro stream gcn --inputs 80
+    python -m repro experiments fig9              # same as -m repro.experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.cgra import CGRA
+from repro.kernels.suite import kernel_names, load_kernel
+from repro.kernels.table1 import TABLE1_SPECS
+from repro.mapper.baseline import map_baseline
+from repro.mapper.bitstream import generate_bitstream
+from repro.mapper.dvfs import map_dvfs_aware
+from repro.mapper.per_tile import assign_per_tile_dvfs
+from repro.mapper.validation import validate_mapping
+from repro.power.model import mapping_power
+from repro.sim.utilization import average_dvfs_fraction, utilization_stats
+from repro import viz
+
+
+def _parse_shape(text: str) -> tuple[int, int]:
+    rows, _, cols = text.partition("x")
+    return int(rows), int(cols)
+
+
+def _build_fabric(args) -> CGRA:
+    rows, cols = _parse_shape(args.cgra)
+    island = _parse_shape(args.island)
+    return CGRA.build(rows, cols, island_shape=island)
+
+
+def cmd_kernels(_args) -> int:
+    print(f"{'kernel':<12}{'domain':<10}{'u1 (n/e/RecMII)':<18}"
+          f"{'u2 (n/e/RecMII)':<18}")
+    for name in kernel_names():
+        spec = TABLE1_SPECS[name]
+        print(f"{name:<12}{spec.domain:<10}"
+              f"{'/'.join(map(str, spec.u1)):<18}"
+              f"{'/'.join(map(str, spec.u2)):<18}")
+    return 0
+
+
+def cmd_fabric(args) -> int:
+    print(viz.render_fabric(_build_fabric(args)))
+    return 0
+
+
+def cmd_map(args) -> int:
+    cgra = _build_fabric(args)
+    dfg = load_kernel(args.kernel, args.unroll)
+    if args.strategy == "baseline":
+        mapping = map_baseline(dfg, cgra)
+    elif args.strategy == "per_tile":
+        mapping = assign_per_tile_dvfs(map_baseline(dfg, cgra))
+    else:
+        mapping = map_dvfs_aware(dfg, cgra)
+    report = validate_mapping(mapping)
+    print(mapping.summary())
+
+    shows = set(args.show.split(",")) if args.show else set()
+    if "levels" in shows:
+        print()
+        print(viz.render_level_map(mapping))
+    if "schedule" in shows:
+        print()
+        print(viz.render_schedule(mapping))
+    if "heatmap" in shows:
+        print()
+        print(viz.render_utilization_heatmap(mapping, report))
+    if "dfg" in shows:
+        print()
+        print(viz.render_dfg(dfg, mapping.labels or None))
+    if "power" in shows or not shows:
+        stats = utilization_stats(
+            mapping, report,
+            include_gated=(mapping.strategy == "baseline"),
+        )
+        power = mapping_power(mapping, report=report)
+        print(f"utilization {stats.average:.2f}, avg DVFS level "
+              f"{average_dvfs_fraction(mapping):.2f}, power "
+              f"{power.total_mw:.1f} mW")
+    if "bitstream" in shows:
+        print()
+        print(generate_bitstream(mapping).to_json(indent=2))
+    return 0
+
+
+def cmd_stream(args) -> int:
+    from repro.streaming.app import gcn_app, lu_app
+    from repro.streaming.drips import simulate_drips
+    from repro.streaming.engine import simulate_stream
+    from repro.streaming.partitioner import partition_app, streaming_cgra
+    from repro.streaming.workloads import (
+        EnzymeGraphStream,
+        SparseMatrixStream,
+    )
+
+    if args.app == "gcn":
+        app = gcn_app()
+        inputs = EnzymeGraphStream(num_graphs=args.inputs).generate()
+    else:
+        app = lu_app()
+        inputs = SparseMatrixStream(num_matrices=args.inputs).generate()
+    fabric = streaming_cgra()
+    profile = inputs[: max(5, args.inputs // 3)]
+    run = inputs[len(profile):]
+    partition = partition_app(app, fabric, profile)
+    print(partition.summary())
+    iced = simulate_stream(partition, run, window=args.window)
+    drips = simulate_drips(partition, run, window=args.window)
+    print(f"iced : {iced.makespan_cycles:.0f} cycles, "
+          f"{iced.average_power_mw:.1f} mW")
+    print(f"drips: {drips.makespan_cycles:.0f} cycles, "
+          f"{drips.average_power_mw:.1f} mW")
+    ratio = iced.perf_per_watt() / drips.perf_per_watt()
+    print(f"perf/W ratio (ICED / DRIPS): {ratio:.3f}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    argv = [args.experiment] + (["--json"] if args.json else [])
+    return experiments_main(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ICED: DVFS-aware CGRA toolchain (MICRO'24 repro).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list the Table I kernel suite")
+
+    fabric = sub.add_parser("fabric", help="show a fabric's island map")
+    fabric.add_argument("--cgra", default="6x6")
+    fabric.add_argument("--island", default="2x2")
+
+    map_cmd = sub.add_parser("map", help="map a kernel onto a fabric")
+    map_cmd.add_argument("kernel", choices=kernel_names())
+    map_cmd.add_argument("--unroll", type=int, default=1)
+    map_cmd.add_argument("--cgra", default="6x6")
+    map_cmd.add_argument("--island", default="2x2")
+    map_cmd.add_argument("--strategy", default="iced",
+                         choices=("baseline", "per_tile", "iced"))
+    map_cmd.add_argument(
+        "--show", default="",
+        help="comma list: levels,schedule,heatmap,dfg,power,bitstream",
+    )
+
+    stream = sub.add_parser("stream", help="run a streaming application")
+    stream.add_argument("app", choices=("gcn", "lu"))
+    stream.add_argument("--inputs", type=int, default=60)
+    stream.add_argument("--window", type=int, default=10)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate a table/figure"
+    )
+    experiments.add_argument("experiment")
+    experiments.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "kernels": cmd_kernels,
+        "fabric": cmd_fabric,
+        "map": cmd_map,
+        "stream": cmd_stream,
+        "experiments": cmd_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

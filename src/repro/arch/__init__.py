@@ -1,0 +1,41 @@
+"""CGRA architecture model: tiles, mesh fabric, DVFS islands, scratchpad.
+
+This package is the hardware half of ICED. A :class:`~repro.arch.cgra.CGRA`
+is a parametric n-by-m grid of tiles connected by a mesh; contiguous
+rectangular groups of tiles form DVFS *islands*, each of which can run at
+one of several voltage/frequency operating points (or be power gated).
+"""
+
+from repro.arch.dvfs import (
+    DVFSLevel,
+    DVFSConfig,
+    DEFAULT_DVFS_CONFIG,
+    NORMAL,
+    RELAX,
+    REST,
+    POWER_GATED,
+)
+from repro.arch.fu import FunctionalUnit, universal_fu, memory_fu
+from repro.arch.tile import Tile
+from repro.arch.islands import Island, partition_islands
+from repro.arch.spm import ScratchpadMemory
+from repro.arch.cgra import CGRA, Link
+
+__all__ = [
+    "DVFSLevel",
+    "DVFSConfig",
+    "DEFAULT_DVFS_CONFIG",
+    "NORMAL",
+    "RELAX",
+    "REST",
+    "POWER_GATED",
+    "FunctionalUnit",
+    "universal_fu",
+    "memory_fu",
+    "Tile",
+    "Island",
+    "partition_islands",
+    "ScratchpadMemory",
+    "CGRA",
+    "Link",
+]

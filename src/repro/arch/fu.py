@@ -1,0 +1,81 @@
+"""Functional unit capability descriptions.
+
+A tile contains one FU complex; its capability is the set of opcodes it
+can execute and their latencies in cycles of the tile's own clock.
+ICED's prototype targets single-cycle FUs (latency 1 for everything);
+the paper notes that multi-cycle pipelined FUs (APEX-style) integrate
+naturally — pass ``latencies`` to model, e.g., a 4-cycle divider. An
+operation's base-clock duration is then ``latency * slowdown``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dfg.ops import Opcode, COMPUTE_OPS, MEMORY_OPS
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class FunctionalUnit:
+    """The opcode capability of one tile's functional-unit complex.
+
+    ``latencies`` holds only the multi-cycle exceptions; everything else
+    executes in one own-clock cycle.
+    """
+
+    name: str
+    supported: frozenset[Opcode]
+    latencies: tuple[tuple[Opcode, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for opcode, cycles in self.latencies:
+            if cycles < 1:
+                raise ArchitectureError(
+                    f"latency of {opcode.name} must be >= 1, got {cycles}"
+                )
+
+    def supports(self, opcode: Opcode) -> bool:
+        return opcode in self.supported
+
+    def latency(self, opcode: Opcode) -> int:
+        """Own-clock cycles ``opcode`` takes on this FU."""
+        for candidate, cycles in self.latencies:
+            if candidate is opcode:
+                return cycles
+        return 1
+
+    def __repr__(self) -> str:
+        return f"FunctionalUnit({self.name}, {len(self.supported)} ops)"
+
+
+def _latency_table(latencies: dict[Opcode, int] | None,
+                   ) -> tuple[tuple[Opcode, int], ...]:
+    if not latencies:
+        return ()
+    return tuple(sorted(latencies.items(), key=lambda kv: kv[0].name))
+
+
+def universal_fu(latencies: dict[Opcode, int] | None = None) -> FunctionalUnit:
+    """A compute-only FU (every opcode except LOAD/STORE)."""
+    return FunctionalUnit("compute", frozenset(COMPUTE_OPS),
+                          _latency_table(latencies))
+
+
+def memory_fu(latencies: dict[Opcode, int] | None = None) -> FunctionalUnit:
+    """An FU with compute plus scratchpad access (left-column tiles)."""
+    return FunctionalUnit("compute+mem", frozenset(COMPUTE_OPS | MEMORY_OPS),
+                          _latency_table(latencies))
+
+
+#: Opcodes only full compute tiles implement; ALU-only tiles (the
+#: heterogeneous-fabric option) drop them to save area.
+EXPENSIVE_OPS = frozenset({
+    Opcode.MUL, Opcode.DIV, Opcode.REM, Opcode.MAC, Opcode.SQRT,
+})
+
+
+def alu_fu(latencies: dict[Opcode, int] | None = None) -> FunctionalUnit:
+    """A reduced FU without multiplier/divider (heterogeneous fabrics)."""
+    return FunctionalUnit("alu", frozenset(COMPUTE_OPS - EXPENSIVE_OPS),
+                          _latency_table(latencies))

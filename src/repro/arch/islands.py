@@ -1,0 +1,83 @@
+"""DVFS island partitioning.
+
+An island is a contiguous group of tiles sharing one LDO + ADPLL + DVFS
+control unit, so all of its tiles always run at the same level. ICED
+supports islands of arbitrary rectangular size; when the island shape
+does not divide the fabric evenly the remainder forms smaller irregular
+islands at the right/bottom edges (the paper's note about 3x3 islands on
+an 8x8 CGRA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IslandConfigError
+
+
+@dataclass(frozen=True)
+class Island:
+    """One DVFS island: a set of tile ids sharing a V/F domain."""
+
+    id: int
+    tile_ids: tuple[int, ...]
+    width: int
+    height: int
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tile_ids)
+
+    @property
+    def is_regular(self) -> bool:
+        """True when the island is the full requested rectangle."""
+        return self.num_tiles == self.width * self.height
+
+    def __repr__(self) -> str:
+        return f"Island({self.id}, {self.num_tiles} tiles)"
+
+
+def partition_islands(rows: int, cols: int,
+                      island_rows: int, island_cols: int) -> list[Island]:
+    """Tile an ``rows x cols`` grid with ``island_rows x island_cols`` islands.
+
+    Tiles are numbered row-major (id = y * cols + x). Islands are laid
+    out row-major as well; edge islands are clipped to the fabric, so
+    every tile belongs to exactly one island.
+    """
+    if rows < 1 or cols < 1:
+        raise IslandConfigError("fabric must have at least one tile")
+    if island_rows < 1 or island_cols < 1:
+        raise IslandConfigError("island shape must be at least 1x1")
+    if island_rows > rows or island_cols > cols:
+        raise IslandConfigError(
+            f"{island_rows}x{island_cols} island does not fit in a "
+            f"{rows}x{cols} fabric"
+        )
+
+    islands: list[Island] = []
+    for y0 in range(0, rows, island_rows):
+        for x0 in range(0, cols, island_cols):
+            tile_ids = tuple(
+                y * cols + x
+                for y in range(y0, min(y0 + island_rows, rows))
+                for x in range(x0, min(x0 + island_cols, cols))
+            )
+            islands.append(
+                Island(len(islands), tile_ids, island_cols, island_rows)
+            )
+    return islands
+
+
+def island_lookup(islands: list[Island]) -> dict[int, int]:
+    """Map tile id -> island id; validates the partition is disjoint."""
+    lookup: dict[int, int] = {}
+    for island in islands:
+        for tile_id in island.tile_ids:
+            if tile_id in lookup:
+                raise IslandConfigError(
+                    f"tile {tile_id} appears in islands "
+                    f"{lookup[tile_id]} and {island.id}"
+                )
+            lookup[tile_id] = island.id
+    return lookup

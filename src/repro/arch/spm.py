@@ -1,0 +1,95 @@
+"""The data scratchpad memory (SPM).
+
+ICED's prototype attaches a 32 KB, 8-bank SPM to the left column of the
+fabric through a 6x8 crossbar; each bank has one read and one write
+port. The compiler must tile working sets to fit, and the simulator
+charges bank conflicts when two accesses hit the same bank in the same
+base cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class ScratchpadMemory:
+    """A banked scratchpad with per-bank 1R/1W ports.
+
+    Attributes:
+        size_bytes: Total capacity (default 32 KB, the prototype's).
+        num_banks: Interleaved banks (default 8).
+        word_bytes: Access granularity (default 4, i.e. 32-bit words).
+    """
+
+    size_bytes: int = 32 * 1024
+    num_banks: int = 8
+    word_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.num_banks <= 0 or self.word_bytes <= 0:
+            raise ArchitectureError("SPM parameters must be positive")
+        if self.size_bytes % (self.num_banks * self.word_bytes):
+            raise ArchitectureError(
+                "SPM size must be a whole number of words per bank"
+            )
+
+    @property
+    def num_words(self) -> int:
+        return self.size_bytes // self.word_bytes
+
+    @property
+    def words_per_bank(self) -> int:
+        return self.num_words // self.num_banks
+
+    def bank_of(self, word_address: int) -> int:
+        """Bank holding ``word_address`` (word-interleaved)."""
+        if not 0 <= word_address < self.num_words:
+            raise ArchitectureError(
+                f"word address {word_address} outside SPM "
+                f"(capacity {self.num_words} words)"
+            )
+        return word_address % self.num_banks
+
+    def fits(self, footprint_bytes: int) -> bool:
+        """True when a working set of ``footprint_bytes`` fits on chip."""
+        return 0 <= footprint_bytes <= self.size_bytes
+
+
+@dataclass
+class BankConflictTracker:
+    """Counts per-cycle bank conflicts for the functional simulator.
+
+    Each bank accepts one read and one write per base cycle; extra
+    accesses in the same cycle are recorded as conflicts (the hardware
+    would stall, the model charges a statistic).
+    """
+
+    spm: ScratchpadMemory
+    conflicts: int = 0
+    accesses: int = 0
+    _cycle_reads: dict[int, int] = field(default_factory=dict)
+    _cycle_writes: dict[int, int] = field(default_factory=dict)
+
+    def begin_cycle(self) -> None:
+        self._cycle_reads.clear()
+        self._cycle_writes.clear()
+
+    def access(self, word_address: int, is_write: bool) -> bool:
+        """Record an access; returns True when it conflicts."""
+        bank = self.spm.bank_of(word_address)
+        counts = self._cycle_writes if is_write else self._cycle_reads
+        counts[bank] = counts.get(bank, 0) + 1
+        self.accesses += 1
+        if counts[bank] > 1:
+            self.conflicts += 1
+            return True
+        return False
+
+    @property
+    def conflict_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.conflicts / self.accesses

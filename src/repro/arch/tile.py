@@ -1,0 +1,50 @@
+"""The CGRA tile.
+
+A tile bundles a functional-unit complex, a register file / bypass
+buffers for holding in-flight data, a configuration memory holding one
+control word per II cycle, and a crossbar that routes data between the
+four mesh neighbours, the local FU and the registers (the paper's 6x7
+crossbar on a mesh tile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.fu import FunctionalUnit
+from repro.dfg.ops import Opcode
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One tile of the fabric.
+
+    Attributes:
+        id: Dense index, row-major from the top-left tile.
+        x: Column (0 = leftmost, SPM-connected).
+        y: Row.
+        fu: Functional-unit capability.
+        num_registers: Bypass/register slots available per cycle for
+            holding data in place during routing.
+        config_depth: Control-memory words (bounds the largest II the
+            tile can hold a modulo schedule for).
+    """
+
+    id: int
+    x: int
+    y: int
+    fu: FunctionalUnit
+    num_registers: int = 8
+    config_depth: int = 32
+
+    @property
+    def has_memory_access(self) -> bool:
+        """True when this tile can host LOAD/STORE (SPM-connected)."""
+        return self.fu.supports(Opcode.LOAD)
+
+    def supports(self, opcode: Opcode) -> bool:
+        return self.fu.supports(opcode)
+
+    def __repr__(self) -> str:
+        mem = ",mem" if self.has_memory_access else ""
+        return f"Tile({self.id}@{self.x},{self.y}{mem})"

@@ -1,0 +1,44 @@
+"""Dataflow graph (DFG) intermediate representation.
+
+A DFG's nodes are single-cycle operations and its edges are data
+dependences. Loop-carried dependences carry an iteration ``dist`` >= 1;
+the maximum cycle-length/distance ratio over all recurrence cycles gives
+the recurrence-constrained minimum initiation interval (RecMII).
+"""
+
+from repro.dfg.ops import Opcode, MEMORY_OPS, is_memory_op
+from repro.dfg.graph import DFG, DFGNode, DFGEdge
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.analysis import (
+    RecurrenceCycle,
+    recurrence_cycles,
+    rec_mii,
+    res_mii,
+    min_ii,
+    critical_cycle_nodes,
+    topo_order,
+    asap_levels,
+    dfg_stats,
+)
+from repro.dfg.transforms import unroll, remove_dead_nodes
+
+__all__ = [
+    "Opcode",
+    "MEMORY_OPS",
+    "is_memory_op",
+    "DFG",
+    "DFGNode",
+    "DFGEdge",
+    "DFGBuilder",
+    "RecurrenceCycle",
+    "recurrence_cycles",
+    "rec_mii",
+    "res_mii",
+    "min_ii",
+    "critical_cycle_nodes",
+    "topo_order",
+    "asap_levels",
+    "dfg_stats",
+    "unroll",
+    "remove_dead_nodes",
+]

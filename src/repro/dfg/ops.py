@@ -1,0 +1,83 @@
+"""Operation codes executed by CGRA functional units.
+
+Every opcode executes in one cycle on the tile's own clock (the ICED
+prototype targets single-cycle FUs; section IV-A). ``LOAD``/``STORE``
+access the scratchpad and may only be placed on SPM-connected tiles.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """The instruction set a tile's functional units implement."""
+
+    # arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    REM = "rem"
+    ABS = "abs"
+    MIN = "min"
+    MAX = "max"
+    SQRT = "sqrt"
+    MAC = "mac"
+    # bitwise / shifts
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # comparison and predication (control flow converted to data flow)
+    CMP = "cmp"
+    SELECT = "select"
+    PHI = "phi"
+    # data movement
+    CONST = "const"
+    MOV = "mov"
+    # scratchpad access
+    LOAD = "load"
+    STORE = "store"
+
+    def __repr__(self) -> str:
+        return f"Opcode.{self.name}"
+
+
+MEMORY_OPS = frozenset({Opcode.LOAD, Opcode.STORE})
+
+COMPUTE_OPS = frozenset(op for op in Opcode if op not in MEMORY_OPS)
+
+#: Opcodes whose result does not depend on input order; used by unrolling
+#: to decide whether an accumulation chain may be re-associated.
+ASSOCIATIVE_OPS = frozenset(
+    {Opcode.ADD, Opcode.MUL, Opcode.MIN, Opcode.MAX, Opcode.AND, Opcode.OR, Opcode.XOR}
+)
+
+#: Maximum number of data operands per opcode (SELECT takes predicate +
+#: two values). Extra inputs are rejected by DFG validation.
+ARITY: dict[Opcode, int] = {
+    Opcode.NOT: 1,
+    Opcode.ABS: 1,
+    Opcode.SQRT: 1,
+    Opcode.MOV: 1,
+    Opcode.CONST: 0,
+    Opcode.LOAD: 2,
+    Opcode.STORE: 3,
+    Opcode.SELECT: 3,
+    Opcode.MAC: 3,
+    Opcode.PHI: 4,
+}
+DEFAULT_ARITY = 2
+
+
+def arity(op: Opcode) -> int:
+    """Maximum number of incoming data edges allowed for ``op``."""
+    return ARITY.get(op, DEFAULT_ARITY)
+
+
+def is_memory_op(op: Opcode) -> bool:
+    """True for opcodes that must sit on an SPM-connected tile."""
+    return op in MEMORY_OPS

@@ -1,0 +1,75 @@
+"""DFG-level loop transforms: unrolling and dead-node elimination.
+
+Unrolling replicates the loop body ``factor`` times inside the graph.
+A loop-carried edge with distance ``d`` from producer copy ``k`` lands on
+consumer copy ``(k + d) % factor`` with a new distance ``(k + d) //
+factor``: dependences that stay inside the unrolled super-iteration
+become intra-iteration edges, which is exactly why unrolling lengthens
+the recurrence cycles (and hence RecMII) of kernels like spmv and gemm
+(section II-A of the paper).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.dfg.graph import DFG
+from repro.errors import DFGError
+
+
+def unroll(dfg: DFG, factor: int) -> DFG:
+    """Return a new DFG with the loop body unrolled ``factor`` times."""
+    if factor < 1:
+        raise DFGError("unroll factor must be >= 1")
+    if factor == 1:
+        return dfg.copy()
+
+    unrolled = DFG(name=f"{dfg.name}_u{factor}")
+    copies: dict[tuple[int, int], int] = {}
+    for k in range(factor):
+        for node in dfg.nodes():
+            name = f"{node.label}.{k}"
+            copies[(node.id, k)] = unrolled.add_node(node.opcode, name)
+    for k in range(factor):
+        for edge in dfg.edges():
+            target_copy = (k + edge.dist) % factor
+            new_dist = (k + edge.dist) // factor
+            unrolled.add_edge(
+                copies[(edge.src, k)],
+                copies[(edge.dst, target_copy)],
+                dist=new_dist,
+                port=edge.port,
+            )
+    unrolled.validate()
+    return unrolled
+
+
+def remove_dead_nodes(dfg: DFG, live: Iterable[int] | None = None) -> DFG:
+    """Drop nodes from which no live node is reachable.
+
+    ``live`` defaults to the STORE nodes (a loop's only side effects).
+    Liveness follows edges backward, including loop-carried ones.
+    """
+    from repro.dfg.ops import Opcode
+
+    if live is None:
+        roots = [n.id for n in dfg.nodes() if n.opcode is Opcode.STORE]
+    else:
+        roots = list(live)
+    if not roots:
+        return dfg.copy()
+
+    alive: set[int] = set()
+    frontier = list(roots)
+    while frontier:
+        node = frontier.pop()
+        if node in alive:
+            continue
+        alive.add(node)
+        frontier.extend(dfg.predecessors(node))
+
+    pruned = dfg.copy()
+    for node_id in dfg.node_ids():
+        if node_id not in alive:
+            pruned.remove_node(node_id)
+    return pruned

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ICED reproduction.
+
+Every error raised on purpose by this library derives from
+:class:`IcedError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class IcedError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ArchitectureError(IcedError):
+    """An architecture description is inconsistent or unsupported."""
+
+
+class IslandConfigError(ArchitectureError):
+    """A DVFS island partition does not tile the fabric correctly."""
+
+
+class DFGError(IcedError):
+    """A dataflow graph is malformed (dangling edges, bad opcodes, ...)."""
+
+
+class FrontendError(IcedError):
+    """A loop-nest program cannot be lowered to a DFG."""
+
+
+class MappingError(IcedError):
+    """The mapper could not find a valid mapping within its II budget."""
+
+    def __init__(self, message: str, last_ii: int | None = None):
+        super().__init__(message)
+        self.last_ii = last_ii
+
+
+class ValidationError(IcedError):
+    """An independently checked mapping invariant was violated."""
+
+
+class SimulationError(IcedError):
+    """The cycle-accurate simulator hit an inconsistent state."""
+
+
+class StreamingError(IcedError):
+    """The streaming pipeline runtime hit an inconsistent state."""
+
+
+class PartitionError(StreamingError):
+    """No feasible island partition exists for a streaming application."""

@@ -1,0 +1,53 @@
+"""Per-table/figure experiment harnesses.
+
+Every module exposes ``run(...) -> ExperimentResult`` regenerating one
+table or figure of the paper's evaluation (DESIGN.md's experiment
+index), parameterized so tests can run reduced instances and the
+benchmark harness the full ones. ``python -m repro.experiments <id>``
+runs one from the command line.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    table1,
+    fig2,
+    fig3,
+    fig4,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    ablation_anneal,
+    ablation_topology,
+    ablation_island_size,
+    ablation_labeling,
+    ablation_multicycle,
+    ablation_window,
+    ablation_levels,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "ablation_anneal": ablation_anneal.run,
+    "ablation_topology": ablation_topology.run,
+    "ablation_island_size": ablation_island_size.run,
+    "ablation_labeling": ablation_labeling.run,
+    "ablation_multicycle": ablation_multicycle.run,
+    "ablation_window": ablation_window.run,
+    "ablation_levels": ablation_levels.run,
+}
+
+__all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

@@ -1,0 +1,61 @@
+"""CLI: ``python -m repro.experiments <id> [...]``.
+
+Run one experiment (or ``all``) and print the regenerated table /
+series. ``--json`` emits machine-readable output instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a table or figure of the ICED paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="experiment id (DESIGN.md's experiment index)",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="emit JSON instead of text")
+    parser.add_argument(
+        "--save", metavar="DIR", default=None,
+        help="also write <id>.txt, <id>.json and <id>.csv into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    save_dir = pathlib.Path(args.save) if args.save else None
+    if save_dir is not None:
+        save_dir.mkdir(parents=True, exist_ok=True)
+
+    ids = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    for exp_id in ids:
+        result = ALL_EXPERIMENTS[exp_id]()
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2))
+        else:
+            print(result.render())
+            print()
+        if save_dir is not None:
+            (save_dir / f"{exp_id}.txt").write_text(result.render() + "\n")
+            (save_dir / f"{exp_id}.json").write_text(
+                json.dumps(result.to_dict(), indent=2) + "\n"
+            )
+            (save_dir / f"{exp_id}.csv").write_text(
+                result.table.to_csv() + "\n"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

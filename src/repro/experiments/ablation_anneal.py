@@ -1,0 +1,61 @@
+"""Ablation: stochastic refinement on top of the constructive mapper.
+
+CGRA-ME-class toolchains follow the constructive pass with simulated
+annealing; the paper's heuristic skips it for compile-time ("optimal
+solutions within tens of seconds"). This sweep quantifies what is left
+on the table: annealing each baseline mapping at fixed II and measuring
+the route-latency / active-island / power deltas.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.experiments.base import ExperimentResult
+from repro.kernels.suite import load_kernel
+from repro.mapper.anneal import _cost, anneal_mapping
+from repro.mapper.baseline import map_baseline
+from repro.power.model import mapping_power
+from repro.utils.tables import TextTable
+
+
+def run(kernels: tuple[str, ...] = ("fir", "spmv", "histogram", "gemm"),
+        size: int = 6, moves: int = 600, seed: int = 0) -> ExperimentResult:
+    cgra = CGRA.build(size, size)
+    table = TextTable([
+        "kernel", "cost before", "cost after", "islands before",
+        "islands after", "power before mW", "power after mW",
+        "moves accepted",
+    ])
+    series = {"cost reduction %": []}
+    for name in kernels:
+        mapping = map_baseline(load_kernel(name, 1), cgra)
+        refined, stats = anneal_mapping(mapping, moves=moves, seed=seed)
+
+        def islands_of(m) -> int:
+            return len({cgra.island_of(t).id for t in m.tiles_used()})
+
+        p_before = mapping_power(mapping).total_mw
+        p_after = mapping_power(refined).total_mw
+        reduction = 100.0 * (1 - stats.final_cost
+                             / max(stats.initial_cost, 1e-9))
+        series["cost reduction %"].append(reduction)
+        table.add_row([
+            name, round(stats.initial_cost, 1), round(stats.final_cost, 1),
+            islands_of(mapping), islands_of(refined),
+            round(p_before, 1), round(p_after, 1),
+            stats.moves_accepted,
+        ])
+    avg = sum(series["cost reduction %"]) / len(kernels)
+    notes = [
+        f"annealing trims {avg:.0f}% of the constructive mapper's cost "
+        "on average (shorter routes, fewer active islands) without "
+        "touching the II — the compile-time/quality trade the paper "
+        "takes by stopping at the heuristic.",
+    ]
+    return ExperimentResult(
+        id="ablation_anneal",
+        title="Simulated-annealing refinement ablation",
+        table=table,
+        series=series,
+        notes=notes,
+    )

@@ -1,0 +1,81 @@
+"""Ablation: Algorithm 1's contribution.
+
+ICED's mapper runs twice: once with DVFS labels (normal operation) and
+once with labeling disabled (every node labeled normal — the islands
+still assign levels greedily and unused islands still gate, but no node
+ever *prefers* a slow island). The delta isolates how much of the
+energy win comes from the labeling pass itself.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.experiments.base import ExperimentResult
+from repro.kernels.suite import load_kernel
+from repro.mapper.dvfs import map_dvfs_aware
+from repro.mapper.engine import EngineConfig, map_dfg
+from repro.mapper.island_refine import refine_island_levels
+from repro.power.model import mapping_power
+from repro.sim.utilization import average_dvfs_fraction
+from repro.utils.tables import TextTable
+
+
+def run(kernels: tuple[str, ...] = ("fir", "spmv", "gemm", "histogram"),
+        size: int = 6, unroll: int = 1) -> ExperimentResult:
+    cgra = CGRA.build(size, size)
+    table = TextTable([
+        "kernel", "labeled II", "unlabeled II",
+        "labeled mW", "unlabeled mW", "labeled level", "unlabeled level",
+    ])
+    gains = []
+    ii_deltas = []
+    for name in kernels:
+        dfg = load_kernel(name, unroll)
+        labeled = map_dvfs_aware(dfg, cgra)
+        # Unlabeled arm: Algorithm 2 runs with all-normal labels (no
+        # node prefers a slow island); the post-mapping refinement is
+        # kept in both arms so the delta isolates the labeling pass.
+        unlabeled = map_dfg(
+            dfg, cgra,
+            EngineConfig(dvfs_aware=True,
+                         allowed_level_names=("normal",)),
+        )
+        unlabeled = refine_island_levels(unlabeled)
+        p_l = mapping_power(labeled).total_mw
+        p_u = mapping_power(unlabeled).total_mw
+        gains.append(p_u / p_l)
+        ii_deltas.append(unlabeled.ii - labeled.ii)
+        table.add_row([
+            name, labeled.ii, unlabeled.ii,
+            round(p_l, 1), round(p_u, 1),
+            round(average_dvfs_fraction(labeled), 3),
+            round(average_dvfs_fraction(unlabeled), 3),
+        ])
+    avg_gain = sum(gains) / len(gains)
+    if avg_gain >= 1.0:
+        summary = (
+            f"labeling buys {avg_gain:.2f}x average power over "
+            "unlabeled island mapping with the same refinement."
+        )
+    else:
+        summary = (
+            f"labeling costs {1 / avg_gain:.2f}x power here: on kernels "
+            "this small, packing into few islands and gating the rest "
+            "beats spreading nodes onto slow islands — consistent with "
+            "the paper's note that gating benefits small DFGs most."
+        )
+    notes = [summary]
+    if any(delta > 0 for delta in ii_deltas):
+        improved = sum(1 for delta in ii_deltas if delta > 0)
+        notes.append(
+            f"labeling also improved the II on {improved}/{len(kernels)} "
+            "kernels: declaring slack up front gives the placer more "
+            "freedom around the critical recurrence."
+        )
+    return ExperimentResult(
+        id="ablation_labeling",
+        title="Algorithm 1 (DVFS labeling) ablation",
+        table=table,
+        notes=notes,
+        data={"avg_gain": avg_gain},
+    )

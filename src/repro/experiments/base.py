@@ -1,0 +1,46 @@
+"""Shared experiment result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.serialization import to_jsonable
+from repro.utils.tables import TextTable, format_series
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``table`` carries the rows the paper reports; ``series`` the
+    figure-shaped numeric series (bar groups / lines); ``notes`` the
+    headline observations (e.g. the claimed ratios and what we
+    measured).
+    """
+
+    id: str
+    title: str
+    table: TextTable
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"== {self.id}: {self.title} ==", "", self.table.render()]
+        for name, values in self.series.items():
+            lines.append("")
+            lines.append(format_series(name, values))
+        if self.notes:
+            lines.append("")
+            lines.extend(f"* {note}" for note in self.notes)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "title": self.title,
+            "csv": self.table.to_csv(),
+            "series": to_jsonable(self.series),
+            "notes": list(self.notes),
+            "data": to_jsonable(self.data),
+        }

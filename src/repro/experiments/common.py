@@ -1,0 +1,65 @@
+"""Shared mapping machinery for the experiment harnesses.
+
+A process-wide cache keyed by (kernel, unroll, fabric, strategy) keeps
+each mapping computed once even when several figures consume it (Fig 9,
+10 and 11 all need the same three mappings per kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cgra import CGRA
+from repro.kernels.suite import load_kernel
+from repro.mapper.baseline import map_baseline
+from repro.mapper.dvfs import map_dvfs_aware
+from repro.mapper.mapping import Mapping
+from repro.mapper.per_tile import assign_per_tile_dvfs, gate_unused_tiles
+from repro.mapper.timing import TimingReport, compute_timing
+
+#: The three evaluated designs of section V plus the gating variant.
+STRATEGIES = ("baseline", "baseline+gating", "per_tile_dvfs", "iced")
+
+_CACHE: dict[tuple, "MappedKernel"] = {}
+
+
+@dataclass
+class MappedKernel:
+    """A mapping plus its timing reconstruction."""
+
+    mapping: Mapping
+    report: TimingReport
+
+
+def fabric_key(cgra: CGRA) -> tuple:
+    first = cgra.islands[0]
+    return (cgra.rows, cgra.cols, first.height, first.width,
+            tuple(sorted(cgra.memory_tile_ids())))
+
+
+def mapped_kernel(name: str, unroll: int, cgra: CGRA,
+                  strategy: str) -> MappedKernel:
+    """Map (and cache) one kernel under one strategy."""
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    key = (name, unroll, fabric_key(cgra), strategy)
+    if key in _CACHE:
+        return _CACHE[key]
+
+    if strategy == "baseline":
+        mapping = map_baseline(load_kernel(name, unroll), cgra)
+    elif strategy == "iced":
+        mapping = map_dvfs_aware(load_kernel(name, unroll), cgra)
+    else:
+        base = mapped_kernel(name, unroll, cgra, "baseline")
+        if strategy == "baseline+gating":
+            mapping = gate_unused_tiles(base.mapping)
+        else:  # per_tile_dvfs
+            mapping = assign_per_tile_dvfs(base.mapping)
+    result = MappedKernel(mapping=mapping, report=compute_timing(mapping))
+    _CACHE[key] = result
+    return result
+
+
+def clear_cache() -> None:
+    _CACHE.clear()

@@ -1,0 +1,64 @@
+"""Fig 12: scalability — average DVFS level across fabric sizes.
+
+Per-tile DVFS and ICED (2x2 islands) are compared on 2x2 through 8x8
+fabrics; islandization tracks the per-tile lower bound across sizes,
+especially when small kernels run on large fabrics (most of the fabric
+simply power-gates island by island).
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapped_kernel
+from repro.errors import MappingError
+from repro.kernels.table1 import STANDALONE_KERNELS
+from repro.sim.utilization import average_dvfs_fraction
+from repro.utils.tables import TextTable
+
+DEFAULT_SIZES = (2, 4, 6, 8)
+
+
+def run(kernels: tuple[str, ...] = STANDALONE_KERNELS,
+        sizes: tuple[int, ...] = DEFAULT_SIZES,
+        unroll: int = 1) -> ExperimentResult:
+    table = TextTable(
+        ["size", "kernels mapped", "per-tile avg level", "ICED avg level"]
+    )
+    series = {"per_tile": [], "iced": []}
+    for size in sizes:
+        cgra = CGRA.build(size, size)
+        pt_sum, iced_sum, mapped = 0.0, 0.0, 0
+        for name in kernels:
+            try:
+                pt = mapped_kernel(name, unroll, cgra, "per_tile_dvfs")
+                iced = mapped_kernel(name, unroll, cgra, "iced")
+            except MappingError:
+                continue  # kernel too large for this fabric (2x2 case)
+            pt_sum += average_dvfs_fraction(pt.mapping)
+            iced_sum += average_dvfs_fraction(iced.mapping)
+            mapped += 1
+        if not mapped:
+            table.add_row([f"{size}x{size}", 0, "-", "-"])
+            series["per_tile"].append(1.0)
+            series["iced"].append(1.0)
+            continue
+        pt_avg, iced_avg = pt_sum / mapped, iced_sum / mapped
+        series["per_tile"].append(pt_avg)
+        series["iced"].append(iced_avg)
+        table.add_row([f"{size}x{size}", mapped,
+                       round(pt_avg, 3), round(iced_avg, 3)])
+
+    notes = [
+        "ICED's per-island average DVFS level stays close to the "
+        "per-tile lower bound across fabric sizes (paper: 35% vs 26% on "
+        "the 6x6 without unrolling), and both drop on larger fabrics as "
+        "more of the fabric idles.",
+    ]
+    return ExperimentResult(
+        id="fig12",
+        title="Scalability of the average DVFS level",
+        table=table,
+        series=series,
+        notes=notes,
+    )

@@ -1,0 +1,63 @@
+"""Fig 14: power/performance landscape against other architectures.
+
+The paper derives every non-ICED point from the cited publications
+(HyCUBE A-SSCC'19, RipTide MICRO'22 — which also reports SNAFU and
+manycore baselines); only the ICED point is measured. We do the same:
+literature points are constants (with their caveats — different
+technology nodes, tile counts and memory systems), and the ICED point
+comes from our fft mapping and power model.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapped_kernel
+from repro.power.model import mapping_power
+from repro.sim.simulator import simulate_execution
+from repro.utils.tables import TextTable
+
+#: Literature data points for FFT-class workloads: name ->
+#: (power mW, performance MOPS, source note).
+LITERATURE_POINTS = {
+    "HyCUBE (40nm)": (7.7, 203.0, "A-SSCC'19: 26.4 MOPS/mW @ 0.9 V"),
+    "RipTide (22nm)": (0.35, 45.0, "MICRO'22: energy-minimal dataflow"),
+    "SNAFU (28nm)": (0.97, 38.0, "via RipTide: vectorized ULP CGRA"),
+    "Manycore (22nm)": (19.1, 102.0, "via RipTide comparison set"),
+}
+
+
+def run(iterations: int = 1024) -> ExperimentResult:
+    cgra = CGRA.build(6, 6)
+    iced = mapped_kernel("fft", 1, cgra, "iced")
+    power = mapping_power(iced.mapping)
+    execution = simulate_execution(iced.mapping, iterations, iced.report)
+    ops = iced.mapping.dfg.num_nodes * iterations
+    mops = ops / execution.execution_time_us
+    efficiency = mops / power.total_mw
+
+    table = TextTable(
+        ["architecture", "power mW", "perf MOPS", "MOPS/mW", "source"]
+    )
+    for name, (p_mw, perf, note) in LITERATURE_POINTS.items():
+        table.add_row([name, p_mw, perf, round(perf / p_mw, 2), note])
+    table.add_row([
+        "ICED 6x6 (7nm, this repo)", round(power.total_mw, 1),
+        round(mops, 1), round(efficiency, 2),
+        "measured: fft mapping + calibrated power model",
+    ])
+    notes = [
+        "cross-architecture comparison is indicative only (different "
+        "nodes, tile counts, memory hierarchies) — the paper says the "
+        "same; the point is that ICED's co-design applies on top of any "
+        "baseline CGRA.",
+        f"ICED fft: II={iced.mapping.ii}, "
+        f"{execution.total_cycles} cycles for {iterations} iterations.",
+    ]
+    return ExperimentResult(
+        id="fig14",
+        title="Power/performance comparison on FFT",
+        table=table,
+        notes=notes,
+        data={"iced_mops": mops, "iced_power_mw": power.total_mw},
+    )

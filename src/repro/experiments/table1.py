@@ -1,0 +1,47 @@
+"""Table I: per-kernel graph statistics at unroll factors 1 and 2."""
+
+from __future__ import annotations
+
+from repro.dfg.analysis import dfg_stats
+from repro.experiments.base import ExperimentResult
+from repro.kernels.suite import kernel_names, load_kernel
+from repro.kernels.table1 import TABLE1_SPECS
+from repro.utils.tables import TextTable
+
+
+def run(kernels: list[str] | None = None) -> ExperimentResult:
+    """Regenerate Table I and check it against the published numbers."""
+    kernels = kernels or kernel_names()
+    table = TextTable([
+        "kernel", "domain",
+        "u1 nodes", "u1 edges", "u1 RecMII",
+        "u2 nodes", "u2 edges", "u2 RecMII",
+        "matches paper",
+    ])
+    mismatches = 0
+    for name in kernels:
+        spec = TABLE1_SPECS[name]
+        measured = []
+        for unroll in (1, 2):
+            stats = dfg_stats(load_kernel(name, unroll))
+            measured.append((stats.nodes, stats.edges, stats.rec_mii))
+        match = (measured[0] == spec.u1) and (measured[1] == spec.u2)
+        mismatches += 0 if match else 1
+        table.add_row([
+            name, spec.domain,
+            *measured[0], *measured[1],
+            "yes" if match else "NO",
+        ])
+    notes = [
+        f"{len(kernels) - mismatches}/{len(kernels)} kernels match the "
+        "published (nodes, edges, RecMII) exactly at both unroll factors.",
+        "spmv and gemm RecMII grows 4 -> 7 under unrolling (loop-carried "
+        "dependence), the effect motivating section II-A.",
+    ]
+    return ExperimentResult(
+        id="table1",
+        title="Target workloads and their DFG statistics",
+        table=table,
+        notes=notes,
+        data={"mismatches": mismatches},
+    )

@@ -1,0 +1,44 @@
+"""Loop-nest frontend: a small kernel language lowered to DFGs.
+
+The paper's toolchain derives DFGs from C kernels through LLVM; this
+package is the reproduction's substitute. Kernels are written as loop
+nests over arrays in a tiny AST (:mod:`repro.frontend.ast`), lowered to
+predicated dataflow graphs (:mod:`repro.frontend.lower`, using partial
+predication exactly as section IV describes), and can be executed both
+as ASTs and as lowered DFGs (:mod:`repro.frontend.interp`) so tests can
+prove the lowering preserves semantics.
+"""
+
+from repro.frontend.ast import (
+    Const,
+    Var,
+    Ref,
+    Bin,
+    Cmp,
+    Unary,
+    Assign,
+    Accumulate,
+    If,
+    For,
+    Kernel,
+)
+from repro.frontend.lower import lower_kernel, LoweredKernel
+from repro.frontend.interp import run_kernel_ast, run_lowered_dfg
+
+__all__ = [
+    "Const",
+    "Var",
+    "Ref",
+    "Bin",
+    "Cmp",
+    "Unary",
+    "Assign",
+    "Accumulate",
+    "If",
+    "For",
+    "Kernel",
+    "lower_kernel",
+    "LoweredKernel",
+    "run_kernel_ast",
+    "run_lowered_dfg",
+]

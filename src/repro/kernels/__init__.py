@@ -1,0 +1,39 @@
+"""The benchmark kernel suite (Table I of the paper).
+
+The paper's DFGs come out of LLVM 12 on specific C sources we do not
+have; what Table I publishes is each kernel's graph statistics (nodes,
+edges, RecMII) at unroll factors 1 and 2. This package synthesizes
+DFGs that match those statistics *exactly* — same node/edge counts,
+same recurrence-cycle structure, domain-flavoured opcode mixes, loads
+and stores for the memory-column placement constraint — which is what
+the mapping/DVFS experiments actually consume (DESIGN.md section 4).
+
+Real, semantically meaningful kernels (executable end to end through
+the frontend and interpreters) live in :mod:`repro.kernels.programs`;
+they back the examples and functional tests.
+"""
+
+from repro.kernels.table1 import (
+    KernelSpec,
+    TABLE1_SPECS,
+    STANDALONE_KERNELS,
+    GCN_KERNELS,
+    LU_KERNELS,
+    kernel_spec,
+)
+from repro.kernels.synthesis import synthesize_dfg
+from repro.kernels.suite import load_kernel, kernel_names
+from repro.kernels.synthetic import fig1_kernel
+
+__all__ = [
+    "KernelSpec",
+    "TABLE1_SPECS",
+    "STANDALONE_KERNELS",
+    "GCN_KERNELS",
+    "LU_KERNELS",
+    "kernel_spec",
+    "synthesize_dfg",
+    "load_kernel",
+    "kernel_names",
+    "fig1_kernel",
+]

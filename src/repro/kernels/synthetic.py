@@ -1,0 +1,40 @@
+"""The synthetic motivating kernel of Fig 1 / Fig 3.
+
+Eleven operations: a four-node critical recurrence (n1, n4, n7, n9 —
+green in the paper, RecMII 4), a two-node secondary recurrence (n10,
+n11 — blue), a load that must sit on the SPM column (n5), and slack
+operations (grey) including the multiplication n8 whose two inbound
+data movements prevent tile0's frequency from dropping in Fig 3(b).
+"""
+
+from __future__ import annotations
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.graph import DFG
+from repro.dfg.ops import Opcode
+
+
+def fig1_kernel() -> DFG:
+    """Build the 11-node synthetic kernel of Fig 1."""
+    b = DFGBuilder("fig1")
+    # Critical recurrence: n1 -> n4 -> n7 -> n9 -(dist 1)-> n1.
+    n1, n4, n7, n9 = b.recurrence(
+        [Opcode.PHI, Opcode.ADD, Opcode.CMP, Opcode.SELECT],
+        names=["n1", "n4", "n7", "n9"],
+    )
+    # Secondary recurrence: n10 -> n11 -(dist 1)-> n10.
+    n10, n11 = b.recurrence(
+        [Opcode.PHI, Opcode.ADD], names=["n10", "n11"],
+    )
+    # Grey slack operations. None of them may be a descendant of a
+    # cycle that they feed back into, or the recurrence would lengthen.
+    n5 = b.op(Opcode.LOAD, name="n5")
+    n6 = b.op(Opcode.MOV, n5, name="n6")
+    n8 = b.op(Opcode.MUL, n5, n6, name="n8")
+    n2 = b.op(Opcode.MOV, n8, name="n2")
+    n3 = b.op(Opcode.SHL, n2, name="n3")
+    b.edge(n8, n10)
+    b.edge(n3, n11)
+    b.edge(n5, n4, port=1)
+    b.edge(n6, n9, port=1)
+    return b.build()

@@ -1,0 +1,109 @@
+"""Table I: the published per-kernel graph statistics.
+
+Each row records (nodes, edges, RecMII) at unroll factors 1 and 2, the
+domain (which flavours the opcode mix), and the data-set size note from
+the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DFGError
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One Table I row."""
+
+    name: str
+    domain: str
+    data: str
+    u1: tuple[int, int, int]  # (nodes, edges, RecMII) at unroll 1
+    u2: tuple[int, int, int]  # (nodes, edges, RecMII) at unroll 2
+
+    def stats(self, unroll: int) -> tuple[int, int, int]:
+        if unroll == 1:
+            return self.u1
+        if unroll == 2:
+            return self.u2
+        raise DFGError(
+            f"Table I only publishes unroll factors 1 and 2 for "
+            f"{self.name!r}; use dfg.transforms.unroll for higher factors"
+        )
+
+
+#: The ten standalone kernels (embedded / ML / HPC domains).
+STANDALONE_KERNELS = (
+    "fir", "latnrm", "fft", "dtw",
+    "spmv", "conv", "relu",
+    "histogram", "mvt", "gemm",
+)
+
+#: The 2-layer GCN streaming application's unique kernels.
+GCN_KERNELS = ("compress", "aggregate", "combine", "combrelu", "pooling")
+
+#: The LU-decomposition streaming application's kernels.
+LU_KERNELS = ("lu_init", "decompose", "solver0", "solver1", "invert",
+              "determinant")
+
+TABLE1_SPECS: dict[str, KernelSpec] = {
+    spec.name: spec for spec in (
+        # -- embedded domain -------------------------------------------------
+        KernelSpec("fir", "embedded", "64",
+                   (12, 16, 4), (20, 26, 4)),
+        KernelSpec("latnrm", "embedded", "32",
+                   (12, 16, 4), (19, 25, 4)),
+        KernelSpec("fft", "embedded", "1024",
+                   (42, 60, 4), (71, 100, 4)),
+        KernelSpec("dtw", "embedded", "128^2",
+                   (32, 49, 4), (51, 84, 4)),
+        # -- machine learning ------------------------------------------------
+        KernelSpec("spmv", "ml", "512",
+                   (19, 24, 4), (37, 50, 7)),
+        KernelSpec("conv", "ml", "32^2",
+                   (17, 23, 4), (24, 34, 4)),
+        KernelSpec("relu", "ml", "1024",
+                   (14, 19, 4), (23, 32, 4)),
+        # -- high performance computing ---------------------------------------
+        KernelSpec("histogram", "hpc", "2048",
+                   (15, 17, 4), (23, 26, 4)),
+        KernelSpec("mvt", "hpc", "128^2",
+                   (20, 29, 4), (37, 54, 4)),
+        KernelSpec("gemm", "hpc", "128^2",
+                   (17, 24, 4), (23, 37, 7)),
+        # -- 2-layer GCN (ENZYMES, 600 graphs) ---------------------------------
+        KernelSpec("compress", "gcn", "ENZYMES",
+                   (24, 32, 4), (46, 65, 7)),
+        KernelSpec("aggregate", "gcn", "ENZYMES",
+                   (27, 34, 4), (53, 69, 7)),
+        KernelSpec("combine", "gcn", "ENZYMES",
+                   (26, 35, 4), (51, 71, 7)),
+        KernelSpec("combrelu", "gcn", "ENZYMES",
+                   (30, 42, 4), (59, 85, 7)),
+        KernelSpec("pooling", "gcn", "ENZYMES",
+                   (16, 21, 4), (31, 43, 7)),
+        # -- LU decomposition (UF sparse collection, <=100x100) -----------------
+        KernelSpec("lu_init", "lu", "150 matrices",
+                   (11, 15, 4), (21, 32, 7)),
+        KernelSpec("decompose", "lu", "150 matrices",
+                   (15, 25, 4), (27, 50, 7)),
+        KernelSpec("solver0", "lu", "150 matrices",
+                   (33, 49, 8), (65, 98, 15)),
+        KernelSpec("solver1", "lu", "150 matrices",
+                   (35, 54, 12), (69, 108, 23)),
+        KernelSpec("invert", "lu", "150 matrices",
+                   (14, 22, 4), (24, 37, 4)),
+        KernelSpec("determinant", "lu", "150 matrices",
+                   (20, 36, 7), (38, 71, 13)),
+    )
+}
+
+
+def kernel_spec(name: str) -> KernelSpec:
+    try:
+        return TABLE1_SPECS[name]
+    except KeyError:
+        raise DFGError(
+            f"unknown kernel {name!r}; known: {sorted(TABLE1_SPECS)}"
+        ) from None

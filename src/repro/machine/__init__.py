@@ -1,0 +1,15 @@
+"""Machine-level execution of configuration bitstreams.
+
+The most literal simulation tier of the stack: no access to the
+mapping, the DFG or the routes — only the per-tile configuration words
+of a :class:`~repro.mapper.bitstream.Bitstream`, executed with
+tile-local rules (tagged FIFO queues, link delay lines, FU issue).
+Running a frontend kernel's bitstream here and matching the reference
+interpreter's memory validates the *generator*, closing the last gap
+between "the mapping is consistent" and "the configured hardware
+computes the right answer".
+"""
+
+from repro.machine.machine import MachineResult, run_bitstream
+
+__all__ = ["MachineResult", "run_bitstream"]

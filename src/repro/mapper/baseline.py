@@ -1,0 +1,25 @@
+"""The conventional (DVFS-oblivious) mapper — the paper's **Baseline**.
+
+A standard II-minimizing modulo-scheduling heuristic: topological
+placement over the MRRG with Dijkstra routing, every tile at the nominal
+level. Utilization and energy are whatever falls out; no labeling, no
+islands, no gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.cgra import CGRA
+from repro.dfg.graph import DFG
+from repro.mapper.engine import EngineConfig, map_dfg
+from repro.mapper.mapping import Mapping
+
+
+def map_baseline(dfg: DFG, cgra: CGRA,
+                 config: EngineConfig | None = None) -> Mapping:
+    """Map ``dfg`` with the conventional strategy (all tiles at normal)."""
+    config = config or EngineConfig()
+    if config.dvfs_aware:
+        config = replace(config, dvfs_aware=False)
+    return map_dfg(dfg, cgra, config)

@@ -1,0 +1,649 @@
+"""The shared placement engine (the paper's Algorithm 2).
+
+One engine serves every mapper flavour:
+
+* **baseline** — ``dvfs_aware=False``: every island is pinned to the
+  normal level and labels are ignored; the cost function reduces to
+  (issue time, routing latency), i.e. a conventional II-minimizing
+  modulo-scheduling heuristic.
+* **ICED** — ``dvfs_aware=True``: nodes carry Algorithm 1 labels; the
+  first node placed in an island fixes the island's level; later nodes
+  may only use islands at least as fast as their label (Alg. 2 line
+  17); the cost function additionally charges label/island mismatch and
+  the activation of fresh islands (which is what concentrates work and
+  lets unused islands be power gated).
+
+The engine iteratively deepens the II from max(RecMII, ResMII) until a
+full placement + routing succeeds, exactly as Alg. 2's outer loop does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cgra import CGRA
+from repro.arch.dvfs import DVFSLevel
+from repro.dfg.analysis import height_levels, rec_mii, topo_order
+from repro.dfg.graph import DFG, DFGEdge
+from repro.dfg.ops import Opcode
+from repro.errors import MappingError
+from repro.mapper.labeling import label_dvfs_levels
+from repro.mapper.mapping import Mapping, Placement, Route
+from repro.mapper.routing import find_route, route_claims
+from repro.mapper.schedule import modulo_schedule_times
+from repro.mrrg.mrrg import MRRG, op_claims
+
+import math
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the placement engine.
+
+    Attributes:
+        dvfs_aware: Enable Algorithm 1 labels and island-level assignment.
+        max_ii: Give up (raise :class:`MappingError`) past this II.
+        allowed_tiles: Restrict placement and routing to these tiles
+            (used by the streaming partitioner to map one kernel onto a
+            subset of islands). ``None`` means the whole fabric.
+        allowed_level_names: Restrict island levels to these names (the
+            streaming compiler allocates only normal/relax, section IV-B).
+        xbar_capacity: Concurrent routes through one tile's crossbar.
+        beam_width: Evaluate at most this many candidate tiles per node
+            (0 = all). Tiles are pre-sorted by proximity to placed
+            producers, so a moderate beam rarely hurts quality.
+        extra_window: Issue times tried per (node, tile) beyond the II
+            baseline window. The earliest-start estimate assumes 1-cycle
+            hops, which underestimates transit through slowed islands;
+            the extra slots keep such placements reachable.
+        w_time / w_route / w_mismatch / w_new_island / w_pressure:
+            Cost weights (issue lateness, routing latency, label/island
+            level mismatch, activating an untouched island, and FU
+            occupancy pressure on the candidate tile).
+    """
+
+    dvfs_aware: bool = False
+    max_ii: int = 32
+    allowed_tiles: frozenset[int] | None = None
+    allowed_level_names: tuple[str, ...] | None = None
+    xbar_capacity: int = 4
+    beam_width: int = 12
+    max_good_candidates: int = 5
+    extra_window: int = 8
+    max_reschedules: int = 10
+    w_time: float = 1.0
+    w_route: float = 3.0
+    w_mismatch: float = 8.0
+    w_new_island: float = 6.0
+    w_pressure: float = 3.0
+
+
+#: Sentinel: issuing this node later cannot help (out-edge deadline hit).
+_BREAK = object()
+
+
+class _AttemptFailed(Exception):
+    """Internal: the current II admits no full placement.
+
+    ``suggestion`` optionally carries raised issue-time floors for the
+    next retry at the same II: when a node's earliest feasible start ran
+    past a recurrence deadline, sliding the deadline's anchor (the
+    back-edge consumer, typically a PHI) later by the shortfall makes
+    the cycle closable — the iterative part of iterative modulo
+    scheduling.
+    """
+
+    def __init__(self, message: str, suggestion: dict[int, int] | None = None):
+        super().__init__(message)
+        self.suggestion = suggestion
+
+
+def map_dfg(dfg: DFG, cgra: CGRA, config: EngineConfig | None = None) -> Mapping:
+    """Map ``dfg`` onto ``cgra``; raises :class:`MappingError` on failure."""
+    config = config or EngineConfig()
+    dfg.validate()
+    tiles = _allowed_tiles(cgra, config)
+    _check_memory_feasible(dfg, cgra, tiles)
+
+    num_mappable = sum(
+        1 for n in dfg.nodes() if n.opcode is not Opcode.CONST
+    )
+    start_ii = max(rec_mii(dfg), math.ceil(num_mappable / len(tiles)))
+    last_error = ""
+    softening_steps = len(cgra.dvfs.levels) if config.dvfs_aware else 1
+    for ii in range(start_ii, config.max_ii + 1):
+        for soften in range(softening_steps):
+            # Performance first (the paper's Alg. 1 falls back to normal
+            # labels rather than risk the II): before conceding a longer
+            # II, retry with every label promoted ``soften`` steps
+            # toward normal.
+            if config.dvfs_aware:
+                labels = label_dvfs_levels(dfg, cgra, ii)
+                labels = _soften_labels(labels, cgra, soften)
+                labels = _clamp_labels(labels, cgra, config)
+            else:
+                labels = {n: cgra.dvfs.normal for n in dfg.node_ids()}
+            floors: dict[int, int] = {}
+            for _retry in range(config.max_reschedules + 1):
+                attempt = _Attempt(dfg, cgra, config, ii, labels, tiles,
+                                   floors)
+                try:
+                    return attempt.run()
+                except _AttemptFailed as exc:
+                    last_error = str(exc)
+                    if not exc.suggestion:
+                        break
+                    progressed = False
+                    for node, time in exc.suggestion.items():
+                        if time > floors.get(node, 0):
+                            floors[node] = time
+                            progressed = True
+                    if not progressed:
+                        break
+    raise MappingError(
+        f"no mapping of {dfg.name!r} ({dfg.num_nodes} nodes) onto "
+        f"{cgra.name} within II <= {config.max_ii}: {last_error}",
+        last_ii=config.max_ii,
+    )
+
+
+def _allowed_tiles(cgra: CGRA, config: EngineConfig) -> list[int]:
+    if config.allowed_tiles is None:
+        return [t.id for t in cgra.tiles]
+    tiles = sorted(config.allowed_tiles)
+    if not tiles:
+        raise MappingError("allowed_tiles is empty")
+    for tile in tiles:
+        cgra.tile(tile)  # raises on out-of-range ids
+    return tiles
+
+
+def _check_memory_feasible(dfg: DFG, cgra: CGRA, tiles: list[int]) -> None:
+    if dfg.memory_nodes() and not any(
+        cgra.tile(t).has_memory_access for t in tiles
+    ):
+        raise MappingError(
+            f"{dfg.name!r} has LOAD/STORE nodes but no allowed tile is "
+            "SPM-connected"
+        )
+
+
+def _soften_labels(labels: dict[int, DVFSLevel], cgra: CGRA,
+                   steps: int) -> dict[int, DVFSLevel]:
+    """Promote every label ``steps`` levels toward normal."""
+    if steps <= 0:
+        return labels
+    levels = cgra.dvfs.levels
+    return {
+        node: levels[max(0, cgra.dvfs.index_of(level) - steps)]
+        for node, level in labels.items()
+    }
+
+
+def _clamp_labels(labels: dict[int, DVFSLevel], cgra: CGRA,
+                  config: EngineConfig) -> dict[int, DVFSLevel]:
+    if config.allowed_level_names is None:
+        return labels
+    allowed = [
+        cgra.dvfs.level_named(name) for name in config.allowed_level_names
+    ]
+    slowest = max(allowed, key=lambda lv: lv.slowdown)
+    clamped = {}
+    for node, level in labels.items():
+        if any(level is lv for lv in allowed):
+            clamped[node] = level
+        else:
+            # Pick the slowest allowed level that is still >= the label's
+            # speed, falling back to the slowest allowed one.
+            faster = [lv for lv in allowed if lv.at_least_as_fast_as(level)]
+            clamped[node] = (
+                max(faster, key=lambda lv: lv.slowdown) if faster else slowest
+            )
+    return clamped
+
+
+@dataclass
+class _Candidate:
+    cost: float
+    tile: int
+    time: int
+    level: DVFSLevel
+
+
+class _Attempt:
+    """One fixed-II placement attempt."""
+
+    def __init__(self, dfg: DFG, cgra: CGRA, config: EngineConfig,
+                 ii: int, labels: dict[int, DVFSLevel], tiles: list[int],
+                 floors: dict[int, int] | None = None):
+        self.dfg = dfg
+        self.cgra = cgra
+        self.config = config
+        self.ii = ii
+        self.labels = labels
+        self.tiles = tiles
+        self.floors = dict(floors or {})
+        self.mrrg = MRRG(cgra, ii, config.xbar_capacity)
+        self.placements: dict[int, Placement] = {}
+        self.routes: dict[int, Route] = {}
+        self.island_levels: dict[int, DVFSLevel] = {}
+        if not config.dvfs_aware:
+            for island in cgra.islands:
+                self.island_levels[island.id] = cgra.dvfs.normal
+        # CONST nodes are not mapped: a constant is an immediate operand
+        # baked into the consumer tile's configuration word, so neither
+        # the node nor its edges consume fabric resources.
+        self.immediates = {
+            n.id for n in dfg.nodes() if n.opcode is Opcode.CONST
+        }
+        self.edges = [
+            (idx, edge) for idx, edge in enumerate(dfg.edges())
+            if edge.src not in self.immediates
+            and edge.dst not in self.immediates
+        ]
+        self._in: dict[int, list[tuple[int, DFGEdge]]] = {
+            n: [] for n in dfg.node_ids()
+        }
+        self._out: dict[int, list[tuple[int, DFGEdge]]] = {
+            n: [] for n in dfg.node_ids()
+        }
+        for idx, edge in self.edges:
+            self._in[edge.dst].append((idx, edge))
+            self._out[edge.src].append((idx, edge))
+
+    # -- helpers ------------------------------------------------------------
+
+    def _slowdown_fn(self, candidate_island: int | None,
+                     candidate_level: DVFSLevel | None):
+        levels = self.island_levels
+
+        def slowdown_of(tile: int) -> int:
+            island = self.cgra.island_of(tile).id
+            level = levels.get(island)
+            if level is None and island == candidate_island:
+                level = candidate_level
+            if level is None or level.is_gated:
+                return 1  # routing through it will assign it normal
+            return level.slowdown
+
+        return slowdown_of
+
+    def _tile_level(self, tile: int, candidate_island: int | None,
+                    candidate_level: DVFSLevel | None) -> DVFSLevel | None:
+        island = self.cgra.island_of(tile).id
+        level = self.island_levels.get(island)
+        if level is None and island == candidate_island:
+            level = candidate_level
+        return level
+
+    def _op_cycles(self, node: int, tile: int) -> int:
+        """Own-clock latency of ``node`` on ``tile``'s FU."""
+        return self.cgra.op_latency(tile, self.dfg.node(node).opcode)
+
+    def _ready(self, node: int) -> int:
+        p = self.placements[node]
+        level = self.island_levels[self.cgra.island_of(p.tile).id]
+        return p.time + self._op_cycles(node, p.tile) * level.slowdown
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> Mapping:
+        self.asap = modulo_schedule_times(
+            self.dfg, self.ii,
+            latency_of=lambda n: (
+                0 if n in self.immediates
+                else self._base_latency(n) * self.labels[n].slowdown
+            ),
+            floor=self.floors,
+        )
+        if self.asap is None:
+            raise _AttemptFailed(
+                f"II={self.ii}: recurrence cycles cannot absorb the "
+                "labeled slowdowns"
+            )
+        for node in self._schedule_order():
+            candidate = self._best_candidate(node)
+            if candidate is None:
+                raise _AttemptFailed(
+                    f"II={self.ii}: no feasible tile for node "
+                    f"{self.dfg.node(node).label}",
+                    suggestion=self._failure_suggestion(node),
+                )
+            self._commit(node, candidate)
+        return self._finish()
+
+    def _schedule_order(self) -> list[int]:
+        """Topological order, deepest-ready-node first (constants are
+        immediates and never appear)."""
+        heights = height_levels(self.dfg)
+        order = [
+            n for n in topo_order(self.dfg) if n not in self.immediates
+        ]
+        indegree = {n: 0 for n in self.dfg.node_ids()}
+        for _idx, edge in self.edges:
+            if edge.dist == 0:
+                indegree[edge.dst] += 1
+        ready = [n for n in order if indegree[n] == 0]
+        result: list[int] = []
+        while ready:
+            ready.sort(key=lambda n: (-heights[n], n))
+            node = ready.pop(0)
+            result.append(node)
+            for _idx, edge in self._out[node]:
+                if edge.dist == 0:
+                    indegree[edge.dst] -= 1
+                    if indegree[edge.dst] == 0:
+                        ready.append(edge.dst)
+        return result
+
+    # -- candidate search ----------------------------------------------------
+
+    def _best_candidate(self, node: int) -> _Candidate | None:
+        label = self.labels[node]
+        opcode = self.dfg.node(node).opcode
+        tiles = self._candidate_tiles(node, opcode)
+        best: _Candidate | None = None
+        feasible = 0
+        for tile in tiles:
+            if feasible >= self.config.max_good_candidates:
+                break
+            island = self.cgra.island_of(tile).id
+            assigned = self.island_levels.get(island)
+            if assigned is None:
+                # A fresh island could be opened at the label's level or
+                # at normal; evaluate both (a too-slow label must not
+                # sink the node — Alg. 1 falls back to normal for the
+                # same reason).
+                allowed_names = self.config.allowed_level_names
+                option_levels = {label, self.cgra.dvfs.normal}
+                options = [
+                    (level, True) for level in self.cgra.dvfs.levels
+                    if level in option_levels
+                    and (allowed_names is None or level.name in allowed_names)
+                ]
+            else:
+                if not assigned.at_least_as_fast_as(label):
+                    continue  # Alg. 2 line 17: never onto a slower island
+                options = [(assigned, False)]
+            for level, fresh in options:
+                result = self._try_tile(node, tile, level, island)
+                if result is None:
+                    continue
+                feasible += 1
+                time, route_latency = result
+                pressure = self.mrrg.tile_busy_slots(tile) / self.ii
+                cost = (
+                    self.config.w_time * time
+                    + self.config.w_route * route_latency
+                    + self.config.w_pressure * pressure
+                )
+                if self.config.dvfs_aware:
+                    mismatch = abs(
+                        self.cgra.dvfs.index_of(level)
+                        - self.cgra.dvfs.index_of(label)
+                    )
+                    cost += self.config.w_mismatch * mismatch
+                    cost += self.config.w_new_island * (1 if fresh else 0)
+                if best is None or (cost, tile, time) < (
+                    best.cost, best.tile, best.time
+                ):
+                    best = _Candidate(cost, tile, time, level)
+        return best
+
+    def _base_latency(self, node: int) -> int:
+        """Latency of ``node`` on a representative capable tile (FUs are
+        homogeneous per opcode across the fabric)."""
+        opcode = self.dfg.node(node).opcode
+        for tile in self.tiles:
+            if self.cgra.tile(tile).supports(opcode):
+                return self.cgra.op_latency(tile, opcode)
+        return 1
+
+    def _failure_suggestion(self, node: int) -> dict[int, int] | None:
+        """Raised floors that could make ``node`` placeable next retry.
+
+        When the node's earliest feasible start overran the deadline a
+        placed back-edge consumer imposes, sliding that consumer later
+        by the shortfall re-opens the window. Resource-only failures
+        (no placed consumer) produce no suggestion.
+        """
+        consumers = [
+            (idx, edge) for idx, edge in self._out[node]
+            if edge.dst in self.placements and edge.dst != node
+        ]
+        if not consumers:
+            return None
+        opcode = self.dfg.node(node).opcode
+        slowdown = self._base_latency(node) * self.labels[node].slowdown
+        best: tuple[int, int] | None = None  # (shortfall, consumer)
+        for tile in self.tiles:
+            if not self.cgra.tile(tile).supports(opcode):
+                continue
+            earliest, latest = self._time_window(node, tile, slowdown)
+            shortfall = max(1, earliest - latest)
+            binding, bound = None, None
+            for _idx, edge in consumers:
+                dst = self.placements[edge.dst]
+                b = (dst.time + edge.dist * self.ii - slowdown
+                     - self.cgra.distance(tile, dst.tile))
+                if bound is None or b < bound:
+                    binding, bound = edge.dst, b
+            if binding is None:
+                continue
+            if best is None or shortfall < best[0]:
+                best = (shortfall, binding)
+        if best is None:
+            return None
+        shortfall, consumer = best
+        return {consumer: self.placements[consumer].time + shortfall}
+
+    def _candidate_tiles(self, node: int, opcode: Opcode) -> list[int]:
+        tiles = [
+            t for t in self.tiles if self.cgra.tile(t).supports(opcode)
+        ]
+        anchors = [
+            self.placements[e.src].tile
+            for _i, e in self._in[node] if e.src in self.placements
+        ] + [
+            self.placements[e.dst].tile
+            for _i, e in self._out[node] if e.dst in self.placements
+        ]
+        if anchors:
+            tiles.sort(key=lambda t: (
+                sum(self.cgra.distance(t, a) for a in anchors), t
+            ))
+        if self.config.beam_width and len(tiles) > self.config.beam_width:
+            tiles = tiles[: self.config.beam_width]
+        return tiles
+
+    def _time_window(self, node: int, tile: int,
+                     slowdown: int) -> tuple[int, int]:
+        earliest = self.asap[node]
+        for _idx, edge in self._in[node]:
+            if edge.src not in self.placements:
+                continue
+            src = self.placements[edge.src]
+            bound = (
+                self._ready(edge.src)
+                + self.cgra.distance(src.tile, tile)
+                - edge.dist * self.ii
+            )
+            earliest = max(earliest, bound)
+        latest = earliest + self.ii - 1 + self.config.extra_window
+        for _idx, edge in self._out[node]:
+            if edge.dst not in self.placements or edge.dst == node:
+                continue
+            dst = self.placements[edge.dst]
+            bound = (
+                dst.time + edge.dist * self.ii
+                - slowdown - self.cgra.distance(tile, dst.tile)
+            )
+            latest = min(latest, bound)
+        return earliest, latest
+
+    def _try_tile(self, node: int, tile: int, level: DVFSLevel,
+                  island: int) -> tuple[int, int] | None:
+        """First issue time in the window at which all adjacent edges
+        route; returns (time, total route latency) or None."""
+        s = self._op_cycles(node, tile) * level.slowdown
+        earliest, latest = self._time_window(node, tile, s)
+        slowdown_of = self._slowdown_fn(island, level)
+        t = earliest
+        while t <= latest:
+            outcome = self._probe(node, tile, t, s, slowdown_of)
+            if isinstance(outcome, tuple):
+                return t, outcome[1]
+            if outcome is _BREAK:
+                return None
+            t += outcome  # jump forward by the observed shortfall
+        return None
+
+    def _probe(self, node: int, tile: int, t: int, s: int, slowdown_of):
+        """Try one (tile, t); returns (routes, latency), a forward jump
+        (int >= 1), or _BREAK when larger t cannot help."""
+        token = self.mrrg.checkpoint()
+        try:
+            self.mrrg.claim_all(op_claims(tile, t, s))
+        except MappingError:
+            self.mrrg.rollback(token)
+            return 1
+        outcome = self._route_adjacent(node, tile, t, s, slowdown_of)
+        self.mrrg.rollback(token)
+        return outcome
+
+    def _route_adjacent(self, node: int, tile: int, t: int, s: int,
+                        slowdown_of):
+        """Route every edge between ``node`` and already-placed nodes,
+        claiming as it goes (caller owns rollback).
+
+        Returns (routes, total latency) on success; an int jump >= 1
+        when issuing later could succeed (sized from the router's
+        earliest-arrival probe); or _BREAK when later issue times cannot
+        help (an out-edge deadline was already overrun).
+        """
+        routes: dict[int, Route] = {}
+        latency = 0
+
+        for idx, edge in self._in[node]:
+            if edge.src == node:
+                continue  # self-loop handled below
+            if edge.src not in self.placements:
+                continue
+            src = self.placements[edge.src]
+            ready = self._ready(edge.src)
+            deadline = t + edge.dist * self.ii
+            route, probe = self._route_one(
+                idx, edge, src.tile, ready, tile, deadline, slowdown_of,
+                horizon=deadline + self.ii,
+            )
+            if route is None:
+                if probe is not None and probe > deadline:
+                    return probe - deadline  # issue late enough to catch it
+                return 1
+            routes[idx] = route
+            latency += route.arrival - ready
+
+        for idx, edge in self._out[node]:
+            if edge.dst == node:
+                # Self-loop: value waits on this tile across iterations.
+                ready = t + s
+                deadline = t + edge.dist * self.ii
+                route, _probe = self._route_one(idx, edge, tile, ready,
+                                                tile, deadline, slowdown_of)
+                if route is None:
+                    return 1
+                routes[idx] = route
+                continue
+            if edge.dst not in self.placements:
+                continue
+            dst = self.placements[edge.dst]
+            ready = t + s
+            deadline = dst.time + edge.dist * self.ii
+            route, probe = self._route_one(idx, edge, tile, ready,
+                                           dst.tile, deadline, slowdown_of)
+            if route is None:
+                # The consumer's deadline is fixed; issuing this node
+                # later only makes it worse.
+                return _BREAK
+            routes[idx] = route
+            latency += route.arrival - ready
+        return routes, latency
+
+    def _route_one(self, idx: int, edge: DFGEdge, src_tile: int, ready: int,
+                   dst_tile: int, deadline: int, slowdown_of,
+                   horizon: int | None = None,
+                   ) -> tuple[Route | None, int | None]:
+        found, probe = find_route(self.mrrg, slowdown_of, src_tile, ready,
+                                  dst_tile, deadline, horizon=horizon)
+        if found is None:
+            return None, probe
+        claims = route_claims(found.path, ready, found.depart, deadline,
+                              slowdown_of)
+        try:
+            self.mrrg.claim_all(claims)
+        except MappingError:
+            return None, probe
+        route = Route(
+            edge_index=idx,
+            src_node=edge.src,
+            dst_node=edge.dst,
+            path=found.path,
+            depart=found.depart,
+            arrival=found.arrival,
+            deadline=deadline,
+        )
+        return route, probe
+
+    # -- commit -----------------------------------------------------------
+
+    def _commit(self, node: int, candidate: _Candidate) -> None:
+        tile, t, level = candidate.tile, candidate.time, candidate.level
+        island = self.cgra.island_of(tile).id
+        if self.island_levels.get(island) is None:
+            self.island_levels[island] = level
+        slowdown_of = self._slowdown_fn(None, None)
+        duration = self._op_cycles(node, tile) * level.slowdown
+        self.mrrg.claim_all(op_claims(tile, t, duration))
+        routed = self._route_adjacent(node, tile, t, duration, slowdown_of)
+        if not isinstance(routed, tuple):
+            raise MappingError(
+                f"commit failed for node {node} on tile {tile} at t={t}; "
+                "engine invariant violated"
+            )
+        routes, _latency = routed
+        self.routes.update(routes)
+        self.placements[node] = Placement(node, tile, t)
+        # Any island a committed route passes through must be powered;
+        # unassigned transit islands are pinned to normal (the slowdown
+        # the route was timed with).
+        for route in routes.values():
+            for hop_tile in route.path:
+                hop_island = self.cgra.island_of(hop_tile).id
+                if self.island_levels.get(hop_island) is None:
+                    self.island_levels[hop_island] = self.cgra.dvfs.normal
+
+    def _finish(self) -> Mapping:
+        tile_levels: dict[int, DVFSLevel] = {}
+        island_levels: dict[int, DVFSLevel] = {}
+        for isl in self.cgra.islands:
+            level = self.island_levels.get(isl.id)
+            if level is None:
+                level = (
+                    self.cgra.dvfs.power_gated if self.config.dvfs_aware
+                    else self.cgra.dvfs.normal
+                )
+            island_levels[isl.id] = level
+            for tile in isl.tile_ids:
+                tile_levels[tile] = level
+        return Mapping(
+            dfg=self.dfg,
+            cgra=self.cgra,
+            ii=self.ii,
+            placements=self.placements,
+            routes=self.routes,
+            tile_levels=tile_levels,
+            island_levels=island_levels,
+            labels=dict(self.labels),
+            strategy="iced" if self.config.dvfs_aware else "baseline",
+            xbar_capacity=self.config.xbar_capacity,
+        )

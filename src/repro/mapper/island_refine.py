@@ -1,0 +1,79 @@
+"""Post-mapping island-level refinement.
+
+Algorithm 2 assigns island levels greedily while placing (the first
+node in an island decides, and safety pushes toward normal). Once the
+full schedule and all routes are known, islands can often run slower:
+this pass gates every untouched island, then walks the powered islands
+least-busy first and drops each to the slowest level the mapping still
+re-times and re-validates at — the same verified-retiming machinery the
+per-tile pass uses, at island granularity. The II never changes, so
+performance is preserved by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.dvfs import DVFSLevel
+from repro.errors import ValidationError
+from repro.mapper.mapping import Mapping
+from repro.mapper.retime import retime_with_levels
+from repro.mapper.timing import compute_timing
+
+
+def refine_island_levels(mapping: Mapping,
+                         allowed_level_names: tuple[str, ...] | None = None,
+                         ) -> Mapping:
+    """Gate unused islands and slow the rest as far as provably safe.
+
+    ``allowed_level_names`` restricts which active levels refinement may
+    assign (the streaming compiler's normal/relax constraint).
+    """
+    cgra = mapping.cgra
+    config = cgra.dvfs
+    used = mapping.tiles_used()
+
+    levels: dict[int, DVFSLevel] = dict(mapping.tile_levels)
+    island_levels: dict[int, DVFSLevel] = dict(mapping.island_levels)
+    for island in cgra.islands:
+        if not any(t in used for t in island.tile_ids):
+            island_levels[island.id] = config.power_gated
+            for tile in island.tile_ids:
+                levels[tile] = config.power_gated
+
+    report = compute_timing(mapping)
+    powered = sorted(
+        (isl for isl in cgra.islands
+         if not island_levels[isl.id].is_gated),
+        key=lambda isl: (
+            sum(report.tile_busy.get(t, 0) for t in isl.tile_ids), isl.id
+        ),
+    )
+    for island in powered:
+        current = island_levels[island.id]
+        for level in reversed(config.levels):  # slowest first
+            if (allowed_level_names is not None
+                    and level.name not in allowed_level_names):
+                continue
+            if level.slowdown <= current.slowdown:
+                break  # already at this speed or faster is pointless
+            trial = dict(levels)
+            for tile in island.tile_ids:
+                trial[tile] = level
+            candidate = retime_with_levels(mapping, trial)
+            if candidate is None:
+                continue
+            try:
+                compute_timing(candidate)
+            except ValidationError:
+                continue
+            levels = trial
+            island_levels[island.id] = level
+            break
+
+    refined = retime_with_levels(mapping, levels, strategy=mapping.strategy)
+    if refined is None:  # every accepted step re-validated; cannot happen
+        raise ValidationError("island refinement retiming diverged")
+    refined = replace(refined, island_levels=island_levels)
+    compute_timing(refined)
+    return refined

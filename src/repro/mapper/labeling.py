@@ -1,0 +1,65 @@
+"""Algorithm 1 of the paper: LabelDVFSLevel.
+
+Before placement, every DFG node receives a *preferred* DVFS level:
+
+1. nodes on the longest recurrence cycles (the II-determining critical
+   path) are labeled **normal**;
+2. nodes on recurrence cycles no longer than half the longest are
+   labeled **relax** (they tolerate a 2x slowdown without stretching
+   the II beyond the critical cycle's bound);
+3. remaining nodes are labeled **rest**/**relax**/**normal** greedily,
+   slowest first, while the time-extended capacity (#tiles x II,
+   with a node at slowdown s consuming s slots) still has room —
+   over-labeling slow levels would eat placement slots and push the II
+   up, which the paper explicitly avoids (lines 20-32).
+
+Labels are preferences: Algorithm 2 may still place a node on a faster
+island (never on a slower one).
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.arch.dvfs import DVFSLevel
+from repro.dfg.analysis import recurrence_cycles, topo_order
+from repro.dfg.graph import DFG
+
+#: Fraction of the tiles-x-II slot budget the labeler may plan to fill.
+#: Full occupancy leaves the router no slack; the margin mirrors the
+#: paper's "considering the number of available CGRA tiles across the
+#: time domain".
+CAPACITY_FILL = 0.9
+
+
+def label_dvfs_levels(dfg: DFG, cgra: CGRA, ii: int) -> dict[int, DVFSLevel]:
+    """Assign a preferred DVFS level to every node of ``dfg``."""
+    config = cgra.dvfs
+    normal = config.normal
+    relax = config.levels[1] if len(config.levels) > 1 else normal
+    rest = config.slowest
+
+    labels: dict[int, DVFSLevel] = {}
+    cycles = recurrence_cycles(dfg)
+    longest = max((c.length for c in cycles), default=0)
+
+    # Lines 7-19: recurrence cycles. Short cycles tolerate relax; the
+    # longest (and anything above half of it) must stay at normal.
+    for cycle in cycles:
+        target = relax if cycle.length <= longest / 2 else normal
+        for node in cycle.nodes:
+            labels.setdefault(node, target)
+
+    # Lines 20-32: spread the remaining nodes across the slot budget.
+    budget = int(cgra.num_tiles * ii * CAPACITY_FILL)
+    used = sum(labels[n].slowdown for n in labels)
+    for node in topo_order(dfg):
+        if node in labels:
+            continue
+        if used + rest.slowdown <= budget:
+            labels[node] = rest
+        elif used + relax.slowdown <= budget:
+            labels[node] = relax
+        else:
+            labels[node] = normal
+        used += labels[node].slowdown
+    return labels

@@ -1,0 +1,94 @@
+"""Re-timing a finished mapping under different per-tile DVFS levels.
+
+Slowing a tile stretches its operations and routing hops; downstream
+issue times must slip to compensate. Placements (node -> tile) and route
+paths are kept; issue times are recomputed as the modulo-ASAP fixpoint
+of the stretched latencies and transits, and route timings are rebuilt
+from them. The result is either a consistent mapping at the *same* II
+(performance preserved) or ``None`` when some recurrence cycle cannot
+absorb the stretch — in which case the caller must keep a faster level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.arch.dvfs import DVFSLevel
+from repro.mapper.mapping import Mapping, Placement, Route
+from repro.mapper.routing import route_arrival
+from repro.mapper.schedule import modulo_schedule_times
+
+
+def retime_with_levels(mapping: Mapping,
+                       tile_levels: dict[int, DVFSLevel],
+                       strategy: str | None = None) -> Mapping | None:
+    """Recompute issue times under ``tile_levels``; None if infeasible."""
+    dfg = mapping.dfg
+    edges = dfg.edges()
+
+    def slowdown(tile: int) -> int:
+        level = tile_levels[tile]
+        return 0 if level.is_gated else level.slowdown
+
+    for placement in mapping.placements.values():
+        if tile_levels[placement.tile].is_gated:
+            return None
+    for route in mapping.routes.values():
+        if any(tile_levels[t].is_gated for t in route.path):
+            return None
+
+    def latency_of(node: int) -> int:
+        placement = mapping.placements.get(node)
+        if placement is None:
+            return 0  # immediate (CONST) operand: no fabric latency
+        op_latency = mapping.cgra.op_latency(
+            placement.tile, dfg.node(node).opcode
+        )
+        return op_latency * slowdown(placement.tile)
+
+    def transit_of(idx: int) -> int:
+        route = mapping.routes.get(idx)
+        if route is None:
+            return 0  # immediate edge: value comes from the config word
+        edge = edges[idx]
+        src_placement = mapping.placements[edge.src]
+        original_ready = (
+            src_placement.time
+            + mapping.cgra.op_latency(src_placement.tile,
+                                      dfg.node(edge.src).opcode)
+            * mapping.slowdown(src_placement.tile)
+        )
+        # The route may have waited at the source to dodge busy links;
+        # keep that wait as a conservative part of the transit.
+        wait = max(0, route.depart - original_ready)
+        return wait + sum(slowdown(t) for t in route.path[1:])
+
+    floor = {n: p.time for n, p in mapping.placements.items()}
+    times = modulo_schedule_times(dfg, mapping.ii, latency_of, transit_of,
+                                  floor=floor)
+    if times is None:
+        return None
+
+    placements = {
+        n: Placement(n, p.tile, times[n])
+        for n, p in mapping.placements.items()
+    }
+    routes: dict[int, Route] = {}
+    for idx, route in mapping.routes.items():
+        edge = edges[idx]
+        ready = times[edge.src] + latency_of(edge.src)
+        depart = max(route.depart, ready)
+        arrival = route_arrival(route.path, depart, slowdown)
+        deadline = times[edge.dst] + edge.dist * mapping.ii
+        if arrival > deadline:
+            return None  # should not happen: transit_of fed the solver
+        routes[idx] = replace(route, depart=depart, arrival=arrival,
+                              deadline=deadline)
+    return replace(
+        mapping,
+        placements=placements,
+        routes=routes,
+        tile_levels=dict(tile_levels),
+        island_levels={},
+        strategy=strategy if strategy is not None else mapping.strategy,
+    )

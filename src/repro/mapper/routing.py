@@ -1,0 +1,175 @@
+"""Dijkstra routing over the time-extended MRRG.
+
+A route departs the producer tile after an optional register wait,
+traverses mesh hops back-to-back (each hop paced by the receiving
+tile's clock: a hop into a tile with slowdown ``s`` takes ``s`` base
+cycles and holds that tile's crossbar and the link for ``s`` cycles),
+and finally waits in the consumer tile's registers until the consumer
+issues. The search state is (tile, time); cost is arrival time, so the
+first accepted goal pop is the earliest feasible arrival.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.mrrg.mrrg import MRRG, Claim, hop_claims, wait_claims
+from repro.mrrg.resources import link_key, reg_key, xbar_key
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """A feasible route found by the router."""
+
+    path: tuple[int, ...]
+    depart: int
+    arrival: int
+
+
+SlowdownFn = Callable[[int], int]
+
+
+def find_route(mrrg: MRRG, slowdown_of: SlowdownFn, src_tile: int,
+               ready: int, dst_tile: int, deadline: int,
+               max_wait: int | None = None,
+               horizon: int | None = None,
+               ) -> tuple[RouteResult | None, int | None]:
+    """Find the earliest-arrival route from ``src_tile`` to ``dst_tile``.
+
+    ``ready`` is when the producer's value exists; ``deadline`` is the
+    absolute time the consumer reads it. Waiting is allowed only at the
+    endpoints (source registers before departing, destination registers
+    after arriving).
+
+    The search explores up to ``horizon`` (default: the deadline) even
+    though only arrivals within the deadline are acceptable; the second
+    element of the returned pair is the earliest arrival time observed
+    at the destination, which lets the placement engine jump its issue
+    time forward by exactly the shortfall instead of probing cycle by
+    cycle. Returns ``(None, None)`` when the destination is unreachable
+    within the horizon.
+    """
+    if horizon is None:
+        horizon = deadline
+    horizon = max(horizon, deadline)
+    if deadline < ready:
+        return None, None
+    pool = mrrg.pool
+
+    if src_tile == dst_tile:
+        if mrrg.is_free(wait_claims(src_tile, ready, deadline)):
+            return RouteResult((src_tile,), ready, ready), ready
+        return None, ready
+
+    max_wait = deadline - ready if max_wait is None else min(
+        max_wait, deadline - ready
+    )
+    max_wait = min(max_wait, 2 * mrrg.ii)
+
+    ii = mrrg.ii
+    usage = pool._usage  # hot path: read-only direct access
+    num_tiles = mrrg.cgra.num_tiles
+    slow = [slowdown_of(t) for t in range(num_tiles)]
+    neighbors = mrrg.cgra._neighbors
+    xbar_cap = pool.xbar_capacity
+    usage_get = usage.get
+
+    # Seed states: depart after waiting w cycles in the source registers.
+    # Feasibility of the wait interval is monotone in w, so stop at the
+    # first blocked prefix.
+    heap: list[tuple[int, int, int]] = []  # (time, tile, depart)
+    parents: dict[tuple[int, int], tuple[int, int] | None] = {}
+    reg_src = reg_key(src_tile)
+    reg_cap = pool.capacity(reg_src)
+    for wait in range(max_wait + 1):
+        if wait and usage_get((reg_src, (ready + wait - 1) % ii), 0) >= reg_cap:
+            break
+        t = ready + wait
+        state = (src_tile, t)
+        if state not in parents:
+            parents[state] = None
+            heapq.heappush(heap, (t, src_tile, t))
+
+    earliest_arrival: int | None = None
+    settled: set[tuple[int, int]] = set()
+    while heap:
+        t, tile, depart = heapq.heappop(heap)
+        state = (tile, t)
+        if state in settled:
+            continue
+        settled.add(state)
+
+        if tile == dst_tile:
+            if earliest_arrival is None:
+                earliest_arrival = t
+            if t <= deadline and mrrg.is_free(
+                wait_claims(dst_tile, t, deadline)
+            ):
+                return RouteResult(_reconstruct(parents, state), depart, t), t
+            continue  # a later arrival may find free registers
+
+        for neighbor in neighbors[tile]:
+            s = slow[neighbor]
+            arrive = t + s
+            if arrive > horizon:
+                continue
+            nxt = (neighbor, arrive)
+            if nxt in settled or nxt in parents:
+                continue
+            lkey = ("link", tile, neighbor)
+            xkey = ("xbar", neighbor)
+            blocked = False
+            for step in range(t, arrive):
+                slot = step % ii
+                if usage_get((lkey, slot), 0) >= 1:
+                    blocked = True
+                    break
+                if usage_get((xkey, slot), 0) >= xbar_cap:
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            parents[nxt] = state
+            heapq.heappush(heap, (arrive, neighbor, depart))
+    return None, earliest_arrival
+
+
+def _reconstruct(parents: dict, state: tuple[int, int]) -> tuple[int, ...]:
+    path = []
+    current: tuple[int, int] | None = state
+    while current is not None:
+        path.append(current[0])
+        current = parents[current]
+    path.reverse()
+    # Waiting at the source repeats its tile id only via depart handling,
+    # never via duplicate path entries.
+    return tuple(path)
+
+
+def route_claims(path: tuple[int, ...], ready: int, depart: int,
+                 deadline: int, slowdown_of: SlowdownFn) -> list[Claim]:
+    """The canonical resource claims of a route (shared with the
+    timing validator, so the mapper and the checker cannot disagree)."""
+    claims: list[Claim] = []
+    if len(path) == 1:
+        claims.extend(wait_claims(path[0], ready, deadline))
+        return claims
+    claims.extend(wait_claims(path[0], ready, depart))
+    t = depart
+    for src, dst in zip(path, path[1:]):
+        s = slowdown_of(dst)
+        claims.extend(hop_claims(src, dst, t, s))
+        t += s
+    claims.extend(wait_claims(path[-1], t, deadline))
+    return claims
+
+
+def route_arrival(path: tuple[int, ...], depart: int,
+                  slowdown_of: SlowdownFn) -> int:
+    """Arrival time implied by a path and its departure time."""
+    t = depart
+    for dst in path[1:]:
+        t += slowdown_of(dst)
+    return t

@@ -1,0 +1,20 @@
+"""Modulo routing resource graph (MRRG).
+
+The MRRG is the time-extended view of the CGRA used by modulo-scheduling
+mappers: every hardware resource (FU, mesh link, crossbar port, register
+slot) is replicated for each of the II cycles of the steady-state
+schedule, and all claims are made modulo II.
+"""
+
+from repro.mrrg.resources import ModuloResourcePool, ResourceKey, fu_key, link_key, xbar_key, reg_key
+from repro.mrrg.mrrg import MRRG
+
+__all__ = [
+    "ModuloResourcePool",
+    "ResourceKey",
+    "fu_key",
+    "link_key",
+    "xbar_key",
+    "reg_key",
+    "MRRG",
+]

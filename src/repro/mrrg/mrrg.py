@@ -1,0 +1,124 @@
+"""The MRRG façade: claim vocabulary plus a transactional pool.
+
+The three claim builders below are the *single* definition of what an
+operation, a routing hop and a register wait occupy. The placement
+engine, the Dijkstra router and the independent timing validator all go
+through them, so the mapper cannot "believe" a different resource model
+than the one the validator checks.
+
+Semantics (DESIGN.md section 5):
+
+* an op issued at base cycle ``t`` on a tile with slowdown ``s`` holds
+  the FU for ``[t, t+s)``;
+* a hop ``a -> b`` departing at ``t`` is paced by the receiving tile's
+  clock: it holds the directed link and ``b``'s crossbar for
+  ``[t, t+s_b)`` and delivers at ``t + s_b``;
+* data waiting at a tile holds one register slot for the wait interval.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.arch.cgra import CGRA
+from repro.mrrg.resources import (
+    ModuloResourcePool,
+    ResourceKey,
+    fu_key,
+    link_key,
+    reg_key,
+    xbar_key,
+)
+
+#: A claim: (resource key, start cycle, length in base cycles).
+Claim = tuple[ResourceKey, int, int]
+
+
+def op_claims(tile: int, t: int, slowdown: int) -> list[Claim]:
+    """Resources an operation occupies."""
+    return [(fu_key(tile), t, slowdown)]
+
+
+def hop_claims(src: int, dst: int, depart: int, s_dst: int) -> list[Claim]:
+    """Resources one mesh hop occupies (paced by the receiver's clock)."""
+    return [
+        (link_key(src, dst), depart, s_dst),
+        (xbar_key(dst), depart, s_dst),
+    ]
+
+
+def wait_claims(tile: int, arrival: int, until: int) -> list[Claim]:
+    """Register slots held while data waits at ``tile`` for its consumer."""
+    length = until - arrival
+    if length <= 0:
+        return []
+    return [(reg_key(tile), arrival, length)]
+
+
+class MRRG:
+    """A modulo routing resource graph for one (CGRA, II) pair."""
+
+    def __init__(self, cgra: CGRA, ii: int, xbar_capacity: int = 4):
+        self.cgra = cgra
+        self.ii = ii
+        self.pool = ModuloResourcePool(cgra, ii, xbar_capacity)
+
+    def is_free(self, claims: list[Claim]) -> bool:
+        """Would all ``claims`` fit, including their mutual overlap?
+
+        Claims in the list may overlap each other (a long wait wrapping
+        the II), so the check is performed on a scratch transaction, not
+        claim-by-claim.
+        """
+        token = self.pool.checkpoint()
+        try:
+            for key, start, length in claims:
+                self.pool.claim(key, start, length)
+        except Exception:
+            self.pool.rollback(token)
+            return False
+        self.pool.rollback(token)
+        return True
+
+    def claim_all(self, claims: list[Claim]) -> None:
+        """Claim everything; atomic (rolls back on failure) and raising."""
+        token = self.pool.checkpoint()
+        try:
+            for key, start, length in claims:
+                self.pool.claim(key, start, length)
+        except Exception:
+            self.pool.rollback(token)
+            raise
+
+    def checkpoint(self) -> int:
+        return self.pool.checkpoint()
+
+    def rollback(self, token: int) -> None:
+        self.pool.rollback(token)
+
+    # -- introspection -----------------------------------------------------
+
+    def tile_busy_slots(self, tile: int) -> int:
+        """Distinct base cycles (of II) the tile's FU or crossbar works."""
+        return self.pool.tile_busy_slots(tile)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """An explicit time-extended graph (for documentation and tests).
+
+        Nodes are ``("tile", id, slot)``; edges connect each tile-slot to
+        its mesh neighbours (and itself) at the next slot, wrapping
+        modulo II — the classic textbook MRRG picture.
+        """
+        graph = nx.DiGraph()
+        for tile in self.cgra.tiles:
+            for slot in range(self.ii):
+                graph.add_node(("tile", tile.id, slot))
+        for tile in self.cgra.tiles:
+            for slot in range(self.ii):
+                nxt = (slot + 1) % self.ii
+                graph.add_edge(("tile", tile.id, slot), ("tile", tile.id, nxt),
+                               kind="register")
+                for neighbor in self.cgra.neighbors(tile.id):
+                    graph.add_edge(("tile", tile.id, slot),
+                                   ("tile", neighbor, nxt), kind="link")
+        return graph

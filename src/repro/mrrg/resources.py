@@ -1,0 +1,158 @@
+"""Transactional modulo-II resource accounting.
+
+Resources are identified by small tuples:
+
+* ``("fu", tile)`` — the tile's FU issue slot, capacity 1;
+* ``("link", src, dst)`` — a directed mesh link, capacity 1;
+* ``("xbar", tile)`` — concurrent crossbar connections, capacity
+  ``xbar_capacity``;
+* ``("reg", tile)`` — register/bypass slots holding data in place,
+  capacity ``tile.num_registers``.
+
+A claim covers ``length`` consecutive base cycles starting at ``start``;
+slot indices are taken modulo II. A claim longer than II legitimately
+occupies multiple units of a capacity resource in the same slot (a value
+waiting 2*II cycles needs two registers), which is why usage is counted,
+not boolean.
+
+The pool is transactional: :meth:`checkpoint` / :meth:`rollback` undo
+claims, which the placement engine uses to back out of failed candidate
+placements.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.errors import MappingError
+
+ResourceKey = tuple
+
+#: Longest single claim we accept; a claim this long is a mapper bug.
+MAX_CLAIM_LENGTH = 4096
+
+
+def fu_key(tile: int) -> ResourceKey:
+    return ("fu", tile)
+
+
+def link_key(src: int, dst: int) -> ResourceKey:
+    return ("link", src, dst)
+
+
+def xbar_key(tile: int) -> ResourceKey:
+    return ("xbar", tile)
+
+
+def reg_key(tile: int) -> ResourceKey:
+    return ("reg", tile)
+
+
+class ModuloResourcePool:
+    """Usage counts for every (resource, slot) pair of an II-cycle MRRG."""
+
+    def __init__(self, cgra: CGRA, ii: int, xbar_capacity: int = 4):
+        if ii < 1:
+            raise MappingError("II must be at least 1")
+        self.cgra = cgra
+        self.ii = ii
+        self.xbar_capacity = xbar_capacity
+        self._usage: dict[tuple[ResourceKey, int], int] = {}
+        self._log: list[tuple[ResourceKey, int]] = []
+
+    # -- capacities ---------------------------------------------------------
+
+    def capacity(self, key: ResourceKey) -> int:
+        kind = key[0]
+        if kind == "fu" or kind == "link":
+            return 1
+        if kind == "xbar":
+            return self.xbar_capacity
+        if kind == "reg":
+            return self.cgra.tile(key[1]).num_registers
+        raise MappingError(f"unknown resource kind {kind!r}")
+
+    # -- queries ------------------------------------------------------------
+
+    def used(self, key: ResourceKey, slot: int) -> int:
+        return self._usage.get((key, slot % self.ii), 0)
+
+    def is_free(self, key: ResourceKey, start: int, length: int,
+                amount: int = 1) -> bool:
+        """Can ``amount`` more units be claimed for the whole interval?
+
+        The check accounts for wrap-around: a length >= II interval hits
+        every slot at least once, some slots multiple times.
+        """
+        if length <= 0:
+            return True
+        self._check_length(length)
+        cap = self.capacity(key)
+        per_slot = self._slot_counts(start, length)
+        for slot, times in per_slot.items():
+            if self.used(key, slot) + amount * times > cap:
+                return False
+        return True
+
+    # -- mutation -------------------------------------------------------------
+
+    def claim(self, key: ResourceKey, start: int, length: int) -> None:
+        """Claim the interval; raises :class:`MappingError` if it overflows."""
+        if length <= 0:
+            return
+        self._check_length(length)
+        if not self.is_free(key, start, length):
+            raise MappingError(
+                f"resource {key} oversubscribed at slots "
+                f"[{start}, {start + length}) mod {self.ii}"
+            )
+        for t in range(start, start + length):
+            slot = t % self.ii
+            self._usage[(key, slot)] = self._usage.get((key, slot), 0) + 1
+            self._log.append((key, slot))
+
+    def checkpoint(self) -> int:
+        """A token for :meth:`rollback`."""
+        return len(self._log)
+
+    def rollback(self, token: int) -> None:
+        """Undo every claim made after ``token`` was taken."""
+        while len(self._log) > token:
+            key, slot = self._log.pop()
+            remaining = self._usage[(key, slot)] - 1
+            if remaining:
+                self._usage[(key, slot)] = remaining
+            else:
+                del self._usage[(key, slot)]
+
+    # -- statistics -------------------------------------------------------------
+
+    def busy_slots(self, key: ResourceKey) -> int:
+        """Distinct busy slots of one resource (<= II)."""
+        return sum(
+            1 for (k, _slot), used in self._usage.items()
+            if k == key and used > 0
+        )
+
+    def tile_busy_slots(self, tile: int, kinds: tuple[str, ...] = ("fu", "xbar")) -> int:
+        """Distinct slots in which the tile's FU or crossbar is active."""
+        slots = set()
+        for (key, slot), used in self._usage.items():
+            if used > 0 and key[0] in kinds and key[1] == tile:
+                slots.add(slot)
+        return len(slots)
+
+    # -- internals ------------------------------------------------------------
+
+    def _slot_counts(self, start: int, length: int) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for t in range(start, start + length):
+            slot = t % self.ii
+            counts[slot] = counts.get(slot, 0) + 1
+        return counts
+
+    def _check_length(self, length: int) -> None:
+        if length > MAX_CLAIM_LENGTH:
+            raise MappingError(
+                f"claim of {length} cycles exceeds the sanity cap "
+                f"({MAX_CLAIM_LENGTH}); this indicates a mapper bug"
+            )

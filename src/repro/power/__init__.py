@@ -1,0 +1,33 @@
+"""Power, energy and area models (equations 2-4 plus Fig 8's breakdown).
+
+The paper obtains component powers from a synthesized, placed-and-routed
+ASAP7 design and CACTI; this package substitutes analytic models
+calibrated to the published operating points (DESIGN.md section 4):
+a 6x6 fabric at 0.7 V / 434 MHz burns ~114 mW, the 32 KB 8-bank SPM
+~62.7 mW / 0.559 mm^2, a per-tile DVFS controller costs >30 % of a
+tile, and the V/F pairs are (0.7 V, 434 MHz), (0.5 V, 217 MHz),
+(0.42 V, 108.5 MHz).
+"""
+
+from repro.power.model import (
+    PowerParams,
+    PowerReport,
+    DEFAULT_POWER_PARAMS,
+    tile_power_mw,
+    mapping_power,
+    energy_uj,
+)
+from repro.power.sram import SRAMModel
+from repro.power.area import AreaReport, area_report
+
+__all__ = [
+    "PowerParams",
+    "PowerReport",
+    "DEFAULT_POWER_PARAMS",
+    "tile_power_mw",
+    "mapping_power",
+    "energy_uj",
+    "SRAMModel",
+    "AreaReport",
+    "area_report",
+]

@@ -1,0 +1,87 @@
+"""Area model reproducing Fig 8's breakdown.
+
+The paper's placed-and-routed 6x6 ICED CGRA occupies 6.63 mm^2 in ASAP7
+(excluding SRAM macros, which CACTI evaluates at 22 nm: 0.559 mm^2).
+This model distributes that total over the tile components and the
+DVFS support in proportions typical for crossbar-based CGRA tiles, and
+scales to other fabric sizes / island shapes / controller styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cgra import CGRA
+from repro.power.sram import SRAMModel
+
+#: Component fractions of one tile's area (sums to 1.0).
+TILE_FRACTIONS = {
+    "fu": 0.34,
+    "crossbar": 0.28,
+    "config_mem": 0.20,
+    "registers": 0.11,
+    "clock_and_misc": 0.07,
+}
+
+#: Area of one tile, mm^2 (6x6 fabric of 6.63 mm^2 minus DVFS support).
+TILE_AREA_MM2 = 0.1722
+
+#: One island's DVFS support (LDO + ADPLL + control unit), mm^2; nine
+#: of them complete the 6.63 mm^2 total.
+ISLAND_DVFS_AREA_MM2 = 0.0478
+
+#: A per-tile controller costs >30 % of a tile (the UE-CGRA overhead
+#: the paper quotes).
+PER_TILE_DVFS_AREA_MM2 = 0.32 * TILE_AREA_MM2
+
+
+@dataclass
+class AreaReport:
+    """Area breakdown of one CGRA configuration."""
+
+    fabric: str
+    components_mm2: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.components_mm2.values())
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(component, mm^2, percent) rows, largest first."""
+        total = self.total_mm2
+        return sorted(
+            (
+                (name, area, 100.0 * area / total)
+                for name, area in self.components_mm2.items()
+            ),
+            key=lambda row: -row[1],
+        )
+
+    def to_dict(self) -> dict:
+        return {"fabric": self.fabric, "components_mm2": self.components_mm2,
+                "total_mm2": self.total_mm2}
+
+
+def area_report(cgra: CGRA, dvfs_style: str = "island",
+                include_sram: bool = True,
+                sram: SRAMModel | None = None) -> AreaReport:
+    """Area of ``cgra`` with island / per-tile / no DVFS support.
+
+    ``dvfs_style`` is one of ``"island"``, ``"per_tile"``, ``"none"``.
+    """
+    if dvfs_style not in ("island", "per_tile", "none"):
+        raise ValueError(f"unknown dvfs_style {dvfs_style!r}")
+    components = {
+        name: fraction * TILE_AREA_MM2 * cgra.num_tiles
+        for name, fraction in TILE_FRACTIONS.items()
+    }
+    if dvfs_style == "island":
+        components["dvfs_support"] = ISLAND_DVFS_AREA_MM2 * len(cgra.islands)
+    elif dvfs_style == "per_tile":
+        components["dvfs_support"] = PER_TILE_DVFS_AREA_MM2 * cgra.num_tiles
+    if include_sram:
+        sram = sram or SRAMModel(
+            size_bytes=cgra.spm.size_bytes, num_banks=cgra.spm.num_banks
+        )
+        components["sram"] = sram.area_mm2()
+    return AreaReport(fabric=cgra.name, components_mm2=components)

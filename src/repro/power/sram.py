@@ -1,0 +1,72 @@
+"""A CACTI-style analytic SRAM model.
+
+CACTI 6.5 is a table-driven circuit estimator; for the single design
+point the paper uses (32 KB, 8 banks, one R and one W port per bank,
+22 nm) it reports 0.559 mm^2 and up to 62.653 mW. This model is an
+analytic surrogate calibrated through that point with standard scaling
+shapes: area grows slightly super-linearly with capacity per bank plus
+a fixed per-bank overhead (decoders, sense amplifiers), and power
+splits into per-bank leakage plus access energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class SRAMModel:
+    """Area/power surrogate for a banked scratchpad.
+
+    Coefficients are calibrated so that ``SRAMModel()`` evaluated at
+    32 KB / 8 banks reproduces the paper's CACTI numbers.
+    """
+
+    size_bytes: int = 32 * 1024
+    num_banks: int = 8
+    #: mm^2 fixed cost per bank (periphery).
+    bank_overhead_mm2: float = 0.022
+    #: mm^2 per byte^0.9 within a bank (cell array + wordlines).
+    array_coeff: float = 0.0000268
+    #: mW leakage per bank.
+    bank_leakage_mw: float = 1.35
+    #: pJ per 32-bit access (read or write), 22 nm-ish.
+    access_energy_pj: float = 7.47
+    #: Accesses per bank per cycle at full streaming load.
+    peak_accesses_per_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.num_banks <= 0:
+            raise ArchitectureError("SRAM size and banks must be positive")
+
+    @property
+    def bytes_per_bank(self) -> float:
+        return self.size_bytes / self.num_banks
+
+    def area_mm2(self) -> float:
+        """Total macro area."""
+        per_bank = (
+            self.bank_overhead_mm2
+            + self.array_coeff * self.bytes_per_bank**0.9
+        )
+        return self.num_banks * per_bank
+
+    def leakage_mw(self) -> float:
+        return self.num_banks * self.bank_leakage_mw
+
+    def dynamic_mw(self, frequency_mhz: float,
+                   activity: float = 1.0) -> float:
+        """Dynamic power at an access rate of ``activity`` x peak."""
+        if not 0.0 <= activity <= 1.0:
+            raise ArchitectureError("activity must be within [0, 1]")
+        accesses_per_us = (
+            frequency_mhz * self.peak_accesses_per_cycle * self.num_banks
+            * activity
+        )
+        return accesses_per_us * self.access_energy_pj * 1e-3  # pJ/us -> mW
+
+    def power_mw(self, frequency_mhz: float, activity: float = 1.0) -> float:
+        """Total SRAM power (leakage + dynamic)."""
+        return self.leakage_mw() + self.dynamic_mw(frequency_mhz, activity)

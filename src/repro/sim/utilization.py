@@ -1,0 +1,99 @@
+"""Tile utilization and average-DVFS-level metrics.
+
+Definitions (DESIGN.md section 5, matching the paper's):
+
+* A tile's utilization is its distinct busy base cycles (FU issue or
+  crossbar traffic, with DVFS-stretched occupancy counted in full)
+  divided by the II. Lowering an underused tile's frequency stretches
+  its busy slots across the II, which is exactly the paper's framing of
+  "slowing idle tiles is equivalent to higher utilization".
+* The fabric average for a no-DVFS configuration counts every tile
+  (idle tiles drag the average down — Fig 2). For DVFS configurations,
+  power-gated tiles are excluded: they consume no energy, so they no
+  longer dilute the utilization of the active fabric (Fig 9).
+* The average DVFS level weights normal = 100 %, relax = 50 %,
+  rest = 25 %, power-gated = 0 % (Fig 10's caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapper.mapping import Mapping
+from repro.mapper.timing import TimingReport, compute_timing
+
+
+def tile_utilization(mapping: Mapping,
+                     report: TimingReport | None = None) -> dict[int, float]:
+    """Busy fraction of every non-gated tile (gated tiles are omitted)."""
+    report = report or compute_timing(mapping)
+    result = {}
+    for tile in mapping.cgra.tiles:
+        if mapping.tile_levels[tile.id].is_gated:
+            continue
+        result[tile.id] = min(1.0, report.busy_fraction(tile.id))
+    return result
+
+
+@dataclass(frozen=True)
+class UtilizationStats:
+    """Fabric-level utilization summary for one mapping."""
+
+    kernel: str
+    strategy: str
+    ii: int
+    average: float
+    active_tiles: int
+    gated_tiles: int
+    per_tile: dict[int, float]
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "strategy": self.strategy,
+            "ii": self.ii,
+            "average": self.average,
+            "active_tiles": self.active_tiles,
+            "gated_tiles": self.gated_tiles,
+        }
+
+
+def utilization_stats(mapping: Mapping,
+                      report: TimingReport | None = None,
+                      include_gated: bool | None = None) -> UtilizationStats:
+    """Average utilization for a mapping.
+
+    ``include_gated`` controls whether power-gated tiles count as 0 %
+    in the average; it defaults to False (DVFS framing). Baseline
+    mappings have no gated tiles, so the flag is moot there and the
+    all-tile average of Fig 2 falls out naturally.
+    """
+    report = report or compute_timing(mapping)
+    include_gated = False if include_gated is None else include_gated
+    per_tile = tile_utilization(mapping, report)
+    num_gated = len(mapping.gated_tiles())
+    if include_gated:
+        total = sum(per_tile.values())
+        denominator = mapping.cgra.num_tiles
+    else:
+        total = sum(per_tile.values())
+        denominator = max(1, len(per_tile))
+    return UtilizationStats(
+        kernel=mapping.dfg.name,
+        strategy=mapping.strategy,
+        ii=mapping.ii,
+        average=total / denominator,
+        active_tiles=len(per_tile),
+        gated_tiles=num_gated,
+        per_tile=per_tile,
+    )
+
+
+def average_dvfs_fraction(mapping: Mapping) -> float:
+    """Fig 10's metric: mean frequency fraction across *all* tiles."""
+    config = mapping.cgra.dvfs
+    total = sum(
+        config.fraction(mapping.tile_levels[tile.id])
+        for tile in mapping.cgra.tiles
+    )
+    return total / mapping.cgra.num_tiles

@@ -1,0 +1,37 @@
+"""Multi-kernel data-dependent streaming applications (sections III-B, IV-B).
+
+A streaming application is a pipeline of kernels whose per-input
+execution time varies with the input (SpMV time follows the graph's
+non-zeros). The compiler partitions the fabric's islands across the
+kernels offline; at runtime the DVFS controller watches a 10-input
+window, raises the bottleneck kernel's islands one level and lowers the
+others — trading idle time in non-bottleneck kernels for energy, which
+is the Fig 13 experiment. DRIPS, the comparison point, instead
+re-allocates islands toward the bottleneck at full voltage.
+"""
+
+from repro.streaming.stage import KernelStage, StreamInput
+from repro.streaming.app import StreamingApp, gcn_app, lu_app
+from repro.streaming.workloads import EnzymeGraphStream, SparseMatrixStream
+from repro.streaming.partitioner import Partition, partition_app, streaming_cgra
+from repro.streaming.controller import DVFSController
+from repro.streaming.engine import StreamResult, simulate_stream
+from repro.streaming.drips import simulate_drips, simulate_static
+
+__all__ = [
+    "KernelStage",
+    "StreamInput",
+    "StreamingApp",
+    "gcn_app",
+    "lu_app",
+    "EnzymeGraphStream",
+    "SparseMatrixStream",
+    "Partition",
+    "partition_app",
+    "streaming_cgra",
+    "DVFSController",
+    "StreamResult",
+    "simulate_stream",
+    "simulate_drips",
+    "simulate_static",
+]

@@ -1,0 +1,101 @@
+"""The two evaluated streaming applications: a 2-layer GCN and LU.
+
+Stage graphs follow the paper (Table I's island column and section V):
+
+* **GCN inference** — 5 unique kernels, ``aggregate`` instantiated
+  twice (one per layer): compress -> aggregate -> combine ->
+  aggregate -> combrelu -> pooling, preferring 1+2+1+2+2+1 = 9
+  islands on the 6x6 prototype. compress and aggregate scale with the
+  input graph's non-zeros; combine/combrelu/pooling with its node
+  count — so sparse graphs bottleneck on combine, dense ones on the
+  aggregates, and the bottleneck shifts per input.
+* **LU decomposition** — 6 kernels in 4 pipeline stages (the two
+  solvers run in parallel, as do invert/determinant):
+  init -> decompose -> (solver0 | solver1) -> (invert | determinant),
+  preferring 1+1+(2+2)+(1+2) = 9 islands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernels.suite import load_kernel
+from repro.streaming.stage import KernelStage, StreamInput
+
+
+@dataclass
+class StreamingApp:
+    """A pipeline of stages; each stage is one or more parallel kernels."""
+
+    name: str
+    stages: list[list[KernelStage]] = field(default_factory=list)
+
+    def all_kernels(self) -> list[KernelStage]:
+        return [k for stage in self.stages for k in stage]
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def preferred_islands(self) -> int:
+        return sum(k.preferred_islands for k in self.all_kernels())
+
+    def __repr__(self) -> str:
+        shape = " -> ".join(
+            "|".join(k.name for k in stage) for stage in self.stages
+        )
+        return f"StreamingApp({self.name}: {shape})"
+
+
+def _stage(name: str, model, islands: int, unroll: int = 1,
+           instance: str = "") -> KernelStage:
+    dfg = load_kernel(name, unroll)
+    if instance:
+        dfg = dfg.copy(name=f"{name}.{instance}")
+    return KernelStage(
+        name=dfg.name, dfg=dfg, iteration_model=model,
+        preferred_islands=islands,
+    )
+
+
+def gcn_app(unroll: int = 1) -> StreamingApp:
+    """The 2-layer GCN inference pipeline over graph inputs."""
+    def by_nnz(scale: float):
+        return lambda item: int(scale * item.get("nnz"))
+
+    def by_nodes(scale: float):
+        return lambda item: int(
+            scale * item.get("n_nodes") * item.get("features")
+        )
+
+    return StreamingApp(name="gcn", stages=[
+        [_stage("compress", by_nnz(1.0), 1, unroll)],
+        [_stage("aggregate", by_nnz(2.0), 2, unroll, instance="l1")],
+        [_stage("combine", by_nodes(2.0), 1, unroll)],
+        [_stage("aggregate", by_nnz(2.0), 2, unroll, instance="l2")],
+        [_stage("combrelu", by_nodes(1.5), 2, unroll)],
+        [_stage("pooling", lambda item: int(item.get("n_nodes")), 1, unroll)],
+    ])
+
+
+def lu_app(unroll: int = 1) -> StreamingApp:
+    """The synthesized LU-decomposition pipeline over sparse matrices."""
+    def model(expr):
+        return lambda item: int(expr(item))
+
+    return StreamingApp(name="lu", stages=[
+        [_stage("lu_init", model(lambda x: x.get("n") * 4), 1, unroll)],
+        [_stage("decompose", model(lambda x: x.get("nnz") * 0.8), 1, unroll)],
+        [
+            _stage("solver0", model(lambda x: x.get("n") ** 1.5 * 0.9), 2,
+                   unroll),
+            _stage("solver1",
+                   model(lambda x: x.get("nnz") * 0.35 + x.get("n")), 2,
+                   unroll),
+        ],
+        [
+            _stage("invert", model(lambda x: x.get("n") * 3), 1, unroll),
+            _stage("determinant", model(lambda x: x.get("n") * 2.5), 2,
+                   unroll),
+        ],
+    ])

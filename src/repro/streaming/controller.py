@@ -1,0 +1,81 @@
+"""The runtime DVFS controller (section III-B).
+
+The hardware keeps an ``exeTable`` (per-kernel busy time in the current
+observation window) and a ``mapTable`` (kernel -> islands). Every
+``window`` consumed inputs it identifies the bottleneck kernel, raises
+that kernel's islands one V/F level and lowers every other kernel's
+islands one level (down to rest). Level switches themselves are ns
+scale (integrated LDO + ADPLL); the decision cadence is the 10-input
+window, exactly as DRIPS does its re-shaping, for a fair Fig 13
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.dvfs import DVFSConfig, DVFSLevel
+
+
+@dataclass
+class DVFSController:
+    """Window-based bottleneck detection and per-kernel level control."""
+
+    dvfs: DVFSConfig
+    kernel_names: list[str]
+    window: int = 10
+    #: A kernel is lowered only "if possible" (section III-B): its
+    #: projected busy time at the slower level must stay below this
+    #: fraction of the bottleneck's, or it would become the new
+    #: bottleneck and throughput would degrade.
+    headroom: float = 0.9
+    levels: dict[str, DVFSLevel] = field(init=False)
+    exe_table: dict[str, float] = field(init=False)
+    decisions: list[dict[str, str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.levels = {name: self.dvfs.normal for name in self.kernel_names}
+        self.exe_table = {name: 0.0 for name in self.kernel_names}
+        self.decisions = []
+
+    def level_of(self, kernel_name: str) -> DVFSLevel:
+        return self.levels[kernel_name]
+
+    def record_execution(self, kernel_name: str, busy_cycles: float) -> None:
+        """A kernel finished one input; update the exeTable."""
+        self.exe_table[kernel_name] += busy_cycles
+
+    def end_of_window(self) -> None:
+        """The window-th input was consumed: adjust levels and reset."""
+        if not any(self.exe_table.values()):
+            return
+        bottleneck = max(self.exe_table, key=lambda k: self.exe_table[k])
+        bn_level = self.levels[bottleneck]
+        bn_next = self.dvfs.faster(bn_level)
+        # The bottleneck speeds up; project its new busy time as the bar
+        # every other kernel must stay under after its own change.
+        bar = self.headroom * self.exe_table[bottleneck] * (
+            bn_next.slowdown / bn_level.slowdown
+        )
+        self.levels[bottleneck] = bn_next
+        for name in self.kernel_names:
+            if name == bottleneck:
+                continue
+            current = self.levels[name]
+            slower = self.dvfs.slower(current)
+            if slower is current:
+                continue
+            projected = self.exe_table[name] * (
+                slower.slowdown / current.slowdown
+            )
+            if projected <= bar:
+                self.levels[name] = slower
+            elif self.exe_table[name] > bar and current is not bn_next:
+                # Already over the bar at the current level: raise it
+                # back toward normal instead of stalling the pipeline.
+                self.levels[name] = self.dvfs.faster(current)
+        self.decisions.append(
+            {name: level.name for name, level in self.levels.items()}
+            | {"_bottleneck": bottleneck}
+        )
+        self.exe_table = {name: 0.0 for name in self.kernel_names}

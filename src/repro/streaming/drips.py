@@ -1,0 +1,143 @@
+"""DRIPS re-implemented: dynamic island re-balancing, no DVFS.
+
+DRIPS (HPCA'22, [29] in the paper) watches the same 10-input window but
+responds by *re-shaping*: it moves an island from the most idle kernel
+to the bottleneck kernel, reloading configurations (a reshape penalty
+charged to both kernels' next input). Every allocated tile always runs
+at the nominal V/F — DRIPS optimizes throughput, ICED optimizes energy
+at equal throughput, which is why Fig 13 compares performance-per-watt.
+
+The re-shaper consults the same II table the ICED partitioner profiled
+(II as a function of island count per kernel) and starts from the same
+initial partition, mirroring the paper's "first 50 input instances are
+used to profile the initial mapping for DRIPS and ICED".
+"""
+
+from __future__ import annotations
+
+from repro.power.model import DEFAULT_POWER_PARAMS, PowerParams
+from repro.streaming.engine import StreamResult, _PipelineSim
+from repro.streaming.partitioner import Partition
+from repro.streaming.stage import StreamInput
+
+#: Cycles to reload one island's tile configurations after a reshape.
+RESHAPE_CONFIG_CYCLES = 256
+
+#: Inputs' worth of work each reshaped kernel loses draining and
+#: refilling its in-flight state (DRIPS must quiesce a kernel before
+#: remapping its tiles).
+RESHAPE_DRAIN_INPUTS = 1.0
+
+
+def simulate_static(partition: Partition, inputs: list[StreamInput],
+                    window: int = 10,
+                    params: PowerParams = DEFAULT_POWER_PARAMS,
+                    ) -> StreamResult:
+    """A DynPaC-style static baseline: fixed partition, fixed nominal
+    V/f, no reshaping — the floor both DRIPS and ICED improve on."""
+    sim = _PipelineSim(partition, params)
+
+    def latency_of(kernel, item: StreamInput) -> float:
+        return kernel.iterations(item) * partition.placement_of(
+            kernel.name
+        ).ii
+
+    return sim.run(
+        inputs, window,
+        latency_of=latency_of,
+        level_name_of=lambda name: partition.cgra.dvfs.normal.name,
+        on_window_end=lambda: None,
+        strategy="static",
+    )
+
+
+def simulate_drips(partition: Partition, inputs: list[StreamInput],
+                   window: int = 10,
+                   params: PowerParams = DEFAULT_POWER_PARAMS,
+                   max_islands_per_kernel: int = 4) -> StreamResult:
+    """Run the DRIPS configuration on the same partition and inputs."""
+    sim = _PipelineSim(partition, params)
+    table = partition.ii_table
+    total_islands = len(partition.cgra.islands)
+
+    allocation = {
+        p.kernel.name: len(p.island_ids) for p in partition.placements
+    }
+    busy: dict[str, float] = {name: 0.0 for name in allocation}
+    penalty: dict[str, float] = {name: 0.0 for name in allocation}
+
+    def current_ii(name: str) -> int:
+        ii = table.get((name, allocation[name]))
+        if ii is None:  # fall back to the realized mapping's II
+            ii = partition.placement_of(name).ii
+        return ii
+
+    def latency_of(kernel, item: StreamInput) -> float:
+        cycles = kernel.iterations(item) * current_ii(kernel.name)
+        cycles += penalty[kernel.name]
+        penalty[kernel.name] = 0.0
+        busy[kernel.name] += cycles
+        return cycles
+
+    def reshape() -> None:
+        if not any(busy.values()):
+            return
+        bottleneck = max(busy, key=lambda k: busy[k])
+        donors = sorted(
+            (k for k in busy if k != bottleneck and allocation[k] > 1),
+            key=lambda k: busy[k],
+        )
+        grown = allocation[bottleneck] + 1
+        can_grow = (
+            grown <= max_islands_per_kernel
+            and table.get((bottleneck, grown)) is not None
+            and donors
+        )
+        if can_grow:
+            donor = donors[0]
+            shrunk = allocation[donor] - 1
+            new_donor_ii = table.get((donor, shrunk))
+            if new_donor_ii is not None:
+                # Reshape only when the projected throughput gain over
+                # the next window beats the drain/reload cost.
+                bn_gain = busy[bottleneck] * (
+                    1.0 - table[(bottleneck, grown)]
+                    / current_ii(bottleneck)
+                )
+                donor_loss = max(
+                    0.0,
+                    busy[donor] * (new_donor_ii / current_ii(donor) - 1.0)
+                    - (busy[bottleneck] - busy[donor]),
+                )
+                drain = RESHAPE_DRAIN_INPUTS * (
+                    busy[bottleneck] + busy[donor]
+                ) / max(1, window) + 2 * RESHAPE_CONFIG_CYCLES
+                if bn_gain - donor_loss > drain:
+                    allocation[donor] = shrunk
+                    allocation[bottleneck] = grown
+                    penalty[donor] += (
+                        RESHAPE_DRAIN_INPUTS * busy[donor] / max(1, window)
+                        + RESHAPE_CONFIG_CYCLES
+                    )
+                    penalty[bottleneck] += (
+                        RESHAPE_DRAIN_INPUTS * busy[bottleneck]
+                        / max(1, window) + RESHAPE_CONFIG_CYCLES
+                    )
+        for name in busy:
+            busy[name] = 0.0
+        # Power accounting follows the new allocation.
+        for placement in partition.placements:
+            name = placement.kernel.name
+            tiles_per_island = len(placement.tile_ids(partition.cgra)) // max(
+                1, len(placement.island_ids)
+            )
+            sim.kernel_tiles[name] = tiles_per_island * allocation[name]
+
+    result = sim.run(
+        inputs, window,
+        latency_of=latency_of,
+        level_name_of=lambda name: partition.cgra.dvfs.normal.name,
+        on_window_end=reshape,
+        strategy="drips",
+    )
+    return result

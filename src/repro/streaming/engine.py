@@ -1,0 +1,225 @@
+"""Streaming pipeline simulation and energy accounting.
+
+The pipeline recurrence is the standard one: kernel k starts input i
+once (a) every kernel of the previous stage finished input i and
+(b) k itself finished input i-1. Per-input kernel latency is
+``iterations(input) * II * slowdown(level)`` base cycles. Window
+boundaries (every ``window`` inputs leaving the last stage) trigger the
+DVFS controller (ICED) or the island re-shaper (DRIPS).
+
+Energy integrates per window: each kernel's islands burn their level's
+tile power for the window's duration (idle-but-clocked tiles burn like
+busy ones at the same level — which is precisely the waste DVFS
+recovers), plus island DVFS controllers and the SPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.model import (
+    DEFAULT_POWER_PARAMS,
+    PowerParams,
+    level_tile_power_mw,
+)
+from repro.power.sram import SRAMModel
+from repro.streaming.controller import DVFSController
+from repro.streaming.partitioner import Partition
+from repro.streaming.stage import StreamInput
+
+
+@dataclass
+class WindowStats:
+    """One observation window's outcome."""
+
+    index: int
+    start_cycle: float
+    end_cycle: float
+    inputs: int
+    energy_uj: float
+    levels: dict[str, str]
+    frequency_mhz: float = 434.0
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def power_mw(self) -> float:
+        if self.duration_cycles <= 0:
+            return 0.0
+        return self.energy_uj * 1e3 / self._duration_us
+
+    @property
+    def _duration_us(self) -> float:
+        return self.duration_cycles / self.frequency_mhz
+
+    def perf_per_watt(self) -> float:
+        """Inputs per microjoule — throughput per watt."""
+        if self.energy_uj <= 0:
+            return 0.0
+        return self.inputs / self.energy_uj
+
+
+@dataclass
+class StreamResult:
+    """The outcome of streaming a whole input set."""
+
+    app: str
+    strategy: str
+    makespan_cycles: float
+    total_energy_uj: float
+    inputs: int
+    windows: list[WindowStats] = field(default_factory=list)
+    frequency_mhz: float = 434.0
+
+    @property
+    def makespan_us(self) -> float:
+        return self.makespan_cycles / self.frequency_mhz
+
+    @property
+    def average_power_mw(self) -> float:
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.total_energy_uj * 1e3 / self.makespan_us
+
+    @property
+    def throughput_per_us(self) -> float:
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.inputs / self.makespan_us
+
+    def perf_per_watt(self) -> float:
+        if self.total_energy_uj <= 0:
+            return 0.0
+        return self.inputs / self.total_energy_uj
+
+
+class _PipelineSim:
+    """Shared pipeline-recurrence machinery for ICED and DRIPS runs."""
+
+    def __init__(self, partition: Partition,
+                 params: PowerParams = DEFAULT_POWER_PARAMS):
+        self.partition = partition
+        self.app = partition.app
+        self.cgra = partition.cgra
+        self.params = params
+        spm = self.cgra.spm
+        self.sram = SRAMModel(size_bytes=spm.size_bytes,
+                              num_banks=spm.num_banks)
+        self.kernel_tiles = {
+            p.kernel.name: len(p.tile_ids(self.cgra))
+            for p in partition.placements
+        }
+        self.prev_finish: dict[str, float] = {
+            p.kernel.name: 0.0 for p in partition.placements
+        }
+
+    def run(self, inputs: list[StreamInput], window: int,
+            latency_of, level_name_of, on_window_end, strategy: str,
+            ) -> StreamResult:
+        stage_finish = 0.0
+        windows: list[WindowStats] = []
+        window_start = 0.0
+        window_inputs = 0
+        window_index = 0
+        energy_total = 0.0
+
+        base_mhz = self.cgra.dvfs.normal.frequency_mhz
+        for item in inputs:
+            prev_stage_done = 0.0
+            for stage in self.app.stages:
+                stage_done = prev_stage_done
+                for kernel in stage:
+                    name = kernel.name
+                    start = max(prev_stage_done, self.prev_finish[name])
+                    latency = latency_of(kernel, item)
+                    finish = start + latency
+                    self.prev_finish[name] = finish
+                    stage_done = max(stage_done, finish)
+                prev_stage_done = stage_done
+            stage_finish = max(stage_finish, prev_stage_done)
+            window_inputs += 1
+
+            if window_inputs == window or item is inputs[-1]:
+                duration = stage_finish - window_start
+                power = self._power_mw(level_name_of)
+                energy = power * (duration / base_mhz) * 1e-3  # mW*us -> uJ
+                windows.append(WindowStats(
+                    index=window_index,
+                    start_cycle=window_start,
+                    end_cycle=stage_finish,
+                    inputs=window_inputs,
+                    energy_uj=energy,
+                    levels={
+                        p.kernel.name: level_name_of(p.kernel.name)
+                        for p in self.partition.placements
+                    },
+                    frequency_mhz=base_mhz,
+                ))
+                energy_total += energy
+                on_window_end()
+                window_start = stage_finish
+                window_inputs = 0
+                window_index += 1
+
+        return StreamResult(
+            app=self.app.name,
+            strategy=strategy,
+            makespan_cycles=stage_finish,
+            total_energy_uj=energy_total,
+            inputs=len(inputs),
+            windows=windows,
+            frequency_mhz=base_mhz,
+        )
+
+    def _power_mw(self, level_name_of) -> float:
+        dvfs = self.cgra.dvfs
+        total = 0.0
+        used_islands = 0
+        for placement in self.partition.placements:
+            level = dvfs.level_named(level_name_of(placement.kernel.name))
+            total += self.kernel_tiles[placement.kernel.name] * (
+                level_tile_power_mw(self.params, level,
+                                    self.params.streaming_activity)
+            )
+            used_islands += len(placement.island_ids)
+        # Unallocated islands are power gated.
+        gated_tiles = self.cgra.num_tiles - sum(self.kernel_tiles.values())
+        total += gated_tiles * level_tile_power_mw(self.params,
+                                                   dvfs.power_gated)
+        total += (
+            self.params.controller_mw() * self.params.island_controller_scale
+            * len(self.cgra.islands)
+        )
+        total += self.sram.power_mw(dvfs.normal.frequency_mhz,
+                                    self.params.sram_activity)
+        return total
+
+
+def simulate_stream(partition: Partition, inputs: list[StreamInput],
+                    window: int = 10,
+                    params: PowerParams = DEFAULT_POWER_PARAMS,
+                    controller: DVFSController | None = None) -> StreamResult:
+    """Run the ICED configuration: fixed partition, dynamic DVFS."""
+    sim = _PipelineSim(partition, params)
+    controller = controller or DVFSController(
+        dvfs=partition.cgra.dvfs,
+        kernel_names=[p.kernel.name for p in partition.placements],
+        window=window,
+    )
+
+    def latency_of(kernel, item) -> float:
+        level = controller.level_of(kernel.name)
+        ii = partition.placement_of(kernel.name).ii
+        cycles = kernel.iterations(item) * ii * max(level.slowdown, 1)
+        controller.record_execution(kernel.name, cycles)
+        return cycles
+
+    return sim.run(
+        inputs, window,
+        latency_of=latency_of,
+        level_name_of=lambda name: controller.level_of(name).name,
+        on_window_end=controller.end_of_window,
+        strategy="iced",
+    )

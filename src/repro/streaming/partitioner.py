@@ -1,0 +1,229 @@
+"""Offline CGRA partitioning across a streaming application's kernels.
+
+Section IV-B: every kernel gets at least one island; the partitioner
+profiles 50 input instances, builds an II table per (kernel, island
+count) by actually mapping the kernel onto restricted tile sets, then
+exhaustively searches island compositions for the one minimizing the
+average bottleneck-stage latency (the pipeline's throughput limiter).
+The search is offline, at compile time; at runtime only DVFS levels
+change (the configuration of each kernel stays put).
+
+Deviation noted in DESIGN.md: streaming kernels are mapped with uniform
+normal-level islands, and the runtime DVFS level scales the whole
+kernel's latency — the paper's per-island normal/relax mix inside one
+kernel is folded into this uniform model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.arch.cgra import CGRA
+from repro.errors import MappingError, PartitionError
+from repro.mapper.engine import EngineConfig, map_dfg
+from repro.mapper.mapping import Mapping
+from repro.streaming.app import StreamingApp
+from repro.streaming.stage import KernelStage, StreamInput
+
+
+def streaming_cgra(rows: int = 6, cols: int = 6,
+                   island_shape: tuple[int, int] = (2, 2)) -> CGRA:
+    """The streaming fabric variant: SPM reachable from every column.
+
+    Partitions hand islands anywhere on the fabric to kernels, so each
+    island needs scratchpad access; this variant models the row-bus
+    distributed SPM access such partitioned CGRAs (DRIPS-like) use.
+    """
+    return CGRA.build(
+        rows, cols, island_shape=island_shape,
+        memory_columns=tuple(range(cols)),
+        name=f"streaming{rows}x{cols}",
+    )
+
+
+@dataclass
+class KernelPlacement:
+    """One kernel's share of the fabric."""
+
+    stage_index: int
+    kernel: KernelStage
+    island_ids: tuple[int, ...]
+    mapping: Mapping
+
+    @property
+    def ii(self) -> int:
+        return self.mapping.ii
+
+    def tile_ids(self, cgra: CGRA) -> list[int]:
+        return [
+            t for isl in self.island_ids for t in cgra.island(isl).tile_ids
+        ]
+
+
+@dataclass
+class Partition:
+    """A complete fabric partition for a streaming application."""
+
+    app: StreamingApp
+    cgra: CGRA
+    placements: list[KernelPlacement]
+    ii_table: dict[tuple[str, int], int | None] = field(default_factory=dict)
+
+    def placement_of(self, kernel_name: str) -> KernelPlacement:
+        for placement in self.placements:
+            if placement.kernel.name == kernel_name:
+                return placement
+        raise PartitionError(f"no placement for kernel {kernel_name!r}")
+
+    def islands_used(self) -> int:
+        return sum(len(p.island_ids) for p in self.placements)
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{p.kernel.name}:{len(p.island_ids)}isl II={p.ii}"
+            for p in self.placements
+        )
+        return f"{self.app.name} on {self.cgra.name}: {parts}"
+
+
+def _snake_island_order(cgra: CGRA) -> list[int]:
+    """Island ids in boustrophedon order over the island grid.
+
+    Consecutive ids in this order are always grid-adjacent, so any
+    kernel's contiguous slice of the order is a spatially connected
+    region — handing a kernel two islands from opposite fabric corners
+    would inflate its II with long routes.
+    """
+    first = cgra.islands[0]
+    per_row = max(1, -(-cgra.cols // first.width))
+    rows = -(-len(cgra.islands) // per_row)
+    order: list[int] = []
+    for row in range(rows):
+        ids = [
+            i for i in range(row * per_row, min((row + 1) * per_row,
+                                                len(cgra.islands)))
+        ]
+        order.extend(reversed(ids) if row % 2 else ids)
+    return order
+
+
+def _map_on_islands(kernel: KernelStage, cgra: CGRA,
+                    island_ids: tuple[int, ...],
+                    max_ii: int = 32) -> Mapping | None:
+    tiles = frozenset(
+        t for isl in island_ids for t in cgra.island(isl).tile_ids
+    )
+    config = EngineConfig(
+        dvfs_aware=True,
+        allowed_tiles=tiles,
+        allowed_level_names=("normal",),
+        max_ii=max_ii,
+    )
+    try:
+        return map_dfg(kernel.dfg, cgra, config)
+    except MappingError:
+        return None
+
+
+def build_ii_table(app: StreamingApp, cgra: CGRA,
+                   max_islands_per_kernel: int = 4,
+                   ) -> dict[tuple[str, int], int | None]:
+    """II of every kernel on 1..N islands (None = unmappable).
+
+    The probe uses the first k islands as a representative tile set;
+    islands are homogeneous on the streaming fabric, so the II depends
+    on the count (and rough shape), not the identity.
+    """
+    snake = _snake_island_order(cgra)
+    table: dict[tuple[str, int], int | None] = {}
+    for kernel in app.all_kernels():
+        for count in range(1, max_islands_per_kernel + 1):
+            probe_islands = tuple(snake[:count])
+            mapping = _map_on_islands(kernel, cgra, probe_islands)
+            table[(kernel.name, count)] = mapping.ii if mapping else None
+    return table
+
+
+def _stage_latency(app: StreamingApp, table, allocation: dict[str, int],
+                   item: StreamInput) -> float:
+    """Bottleneck latency of one input under an allocation."""
+    worst = 0.0
+    for stage in app.stages:
+        stage_latency = 0.0
+        for kernel in stage:
+            ii = table[(kernel.name, allocation[kernel.name])]
+            stage_latency = max(stage_latency, kernel.iterations(item) * ii)
+        worst = max(worst, stage_latency)
+    return worst
+
+
+def partition_app(app: StreamingApp, cgra: CGRA,
+                  profile_inputs: list[StreamInput],
+                  max_islands_per_kernel: int = 4,
+                  ii_table: dict | None = None) -> Partition:
+    """Choose and realize the throughput-optimal island composition."""
+    kernels = app.all_kernels()
+    total_islands = len(cgra.islands)
+    if len(kernels) > total_islands:
+        raise PartitionError(
+            f"{app.name}: {len(kernels)} kernels exceed "
+            f"{total_islands} islands (merge kernels first)"
+        )
+    table = ii_table if ii_table is not None else build_ii_table(
+        app, cgra, max_islands_per_kernel
+    )
+
+    names = [k.name for k in kernels]
+    feasible_counts = {
+        name: [
+            c for c in range(1, max_islands_per_kernel + 1)
+            if table.get((name, c)) is not None
+        ]
+        for name in names
+    }
+    for name, counts in feasible_counts.items():
+        if not counts:
+            raise PartitionError(f"kernel {name!r} fits on no island count")
+
+    best_alloc: dict[str, int] | None = None
+    best_cost = float("inf")
+    for combo in itertools.product(*(feasible_counts[n] for n in names)):
+        if sum(combo) > total_islands:
+            continue
+        allocation = dict(zip(names, combo))
+        cost = sum(
+            _stage_latency(app, table, allocation, item)
+            for item in profile_inputs
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_alloc = allocation
+    if best_alloc is None:
+        raise PartitionError(
+            f"{app.name}: no island composition fits in "
+            f"{total_islands} islands"
+        )
+
+    # Realize the allocation on concrete, spatially contiguous island
+    # groups (consecutive slices of the snake order) and produce each
+    # kernel's final mapping on its own islands.
+    snake = _snake_island_order(cgra)
+    placements: list[KernelPlacement] = []
+    next_island = 0
+    for stage_index, stage in enumerate(app.stages):
+        for kernel in stage:
+            count = best_alloc[kernel.name]
+            island_ids = tuple(snake[next_island:next_island + count])
+            next_island += count
+            mapping = _map_on_islands(kernel, cgra, island_ids)
+            if mapping is None:
+                raise PartitionError(
+                    f"kernel {kernel.name!r} failed to map on its "
+                    f"allocated islands {island_ids}"
+                )
+            placements.append(
+                KernelPlacement(stage_index, kernel, island_ids, mapping)
+            )
+    return Partition(app=app, cgra=cgra, placements=placements,
+                     ii_table=table)

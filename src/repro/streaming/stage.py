@@ -1,0 +1,51 @@
+"""Pipeline stages and stream inputs."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.dfg.graph import DFG
+
+
+@dataclass(frozen=True)
+class StreamInput:
+    """One input instance of a streaming application.
+
+    ``features`` carries whatever the iteration models consume — for
+    the GCN stream the graph's node count and non-zeros, for the LU
+    stream the matrix order and density.
+    """
+
+    index: int
+    features: dict[str, float] = field(hash=False)
+
+    def get(self, key: str) -> float:
+        return self.features[key]
+
+
+@dataclass
+class KernelStage:
+    """One kernel of a streaming pipeline.
+
+    Attributes:
+        name: Kernel name (Table I row).
+        dfg: The kernel's dataflow graph.
+        iteration_model: Input -> loop iterations this kernel executes
+            for that input. Data-dependent kernels (SpMV-like) vary
+            with the input; fixed-shape kernels return a constant.
+        preferred_islands: Table I's island allocation for the 6x6
+            prototype (used as the partitioner's search seed).
+    """
+
+    name: str
+    dfg: DFG
+    iteration_model: Callable[[StreamInput], int]
+    preferred_islands: int = 1
+
+    def iterations(self, item: StreamInput) -> int:
+        count = int(self.iteration_model(item))
+        return max(1, count)
+
+    def __repr__(self) -> str:
+        return f"KernelStage({self.name}, pref={self.preferred_islands})"

@@ -1,0 +1,7 @@
+"""Small shared utilities: deterministic RNG, text tables, serialization."""
+
+from repro.utils.rng import make_rng
+from repro.utils.tables import TextTable, format_series
+from repro.utils.serialization import to_jsonable
+
+__all__ = ["make_rng", "TextTable", "format_series", "to_jsonable"]

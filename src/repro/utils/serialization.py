@@ -1,0 +1,48 @@
+"""JSON-friendly serialization helpers.
+
+Mappings, reports and experiment results expose ``to_dict``-style views;
+:func:`to_jsonable` normalizes the remaining value types (enums, numpy
+scalars, dataclasses) so ``json.dumps`` works on any report object.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serializable builtins."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    if hasattr(value, "to_dict"):
+        return to_jsonable(value.to_dict())
+    raise TypeError(f"cannot serialize {type(value).__name__}")
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, enum.Enum):
+        return key.name
+    if isinstance(key, tuple):
+        return ",".join(str(part) for part in key)
+    return str(key)

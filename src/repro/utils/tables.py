@@ -1,0 +1,81 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The experiment harnesses print their results in the same row/series shape
+the paper's tables and figures use; this module owns the formatting so
+every report looks consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+class TextTable:
+    """A minimal monospace table builder.
+
+    >>> t = TextTable(["kernel", "II"])
+    >>> t.add_row(["fir", 4])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    kernel | II
+    -------+---
+    fir    | 4
+    """
+
+    def __init__(self, headers: Sequence[str]):
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [_format_cell(cell) for cell in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip()
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+            )
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        def esc(cell: str) -> str:
+            if "," in cell or '"' in cell:
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        lines = [",".join(esc(h) for h in self.headers)]
+        lines.extend(",".join(esc(c) for c in row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(name: str, values: Iterable[float], width: int = 40) -> str:
+    """Render a numeric series as a labeled ASCII bar chart.
+
+    Used by experiment harnesses to give a quick visual read of the
+    figure-shaped results directly in the terminal.
+    """
+    values = list(values)
+    if not values:
+        return f"{name}: (empty)"
+    peak = max(values) or 1.0
+    lines = [f"{name}:"]
+    for i, v in enumerate(values):
+        bar = "#" * max(0, round(width * v / peak))
+        lines.append(f"  [{i:3d}] {v:10.3f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,154 @@
+"""Plain-text visualization of fabrics, mappings and schedules.
+
+Terminal renderings of the paper's figures-as-diagrams: the island/
+level map (the colored bottom rows of Fig 3), the per-tile modulo
+schedule (which op issues in which slot, like Fig 1's right side), and
+a DFG dump with labels. All output is deterministic monospace text, so
+examples can print it and tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cgra import CGRA
+from repro.arch.dvfs import DVFSLevel
+from repro.dfg.graph import DFG
+from repro.mapper.mapping import Mapping
+
+_LEVEL_GLYPH = {
+    "normal": "N",
+    "relax": "X",
+    "rest": "R",
+    "power_gated": ".",
+}
+
+
+def _glyph(level: DVFSLevel) -> str:
+    return _LEVEL_GLYPH.get(level.name, level.name[:1].upper())
+
+
+def render_fabric(cgra: CGRA) -> str:
+    """The fabric's island partition as a grid of island ids."""
+    lines = [f"{cgra.name}: {cgra.rows}x{cgra.cols}, "
+             f"{len(cgra.islands)} islands ({cgra.island_shape_name})"]
+    for y in range(cgra.rows):
+        row = []
+        for x in range(cgra.cols):
+            tile = cgra.tile_at(x, y)
+            mem = "*" if tile.has_memory_access else " "
+            row.append(f"{cgra.island_of(tile.id).id:2d}{mem}")
+        lines.append(" ".join(row))
+    lines.append("(* = SPM-connected tile)")
+    return "\n".join(lines)
+
+
+def render_level_map(mapping: Mapping) -> str:
+    """Fig 3's bottom-row view: one glyph per tile's DVFS level."""
+    cgra = mapping.cgra
+    lines = [f"{mapping.dfg.name} [{mapping.strategy}] II={mapping.ii} — "
+             "N=normal X=relax R=rest .=gated"]
+    for y in range(cgra.rows):
+        row = [
+            _glyph(mapping.tile_levels[cgra.tile_at(x, y).id])
+            for x in range(cgra.cols)
+        ]
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_schedule(mapping: Mapping, max_width: int = 10) -> str:
+    """Per-tile modulo schedule: which node issues in which slot.
+
+    Only tiles hosting at least one operation are shown; each cell is
+    the issuing node's label (stretched occupancy marked with '=').
+    """
+    lines = [f"modulo schedule of {mapping.dfg.name!r} (II={mapping.ii})"]
+    header = "tile  | " + " | ".join(
+        f"t{t:<{max_width - 2}}" for t in range(mapping.ii)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    by_tile: dict[int, dict[int, str]] = {}
+    for node_id, placement in mapping.placements.items():
+        label = mapping.dfg.node(node_id).label[:max_width]
+        slots = by_tile.setdefault(placement.tile, {})
+        slowdown = mapping.slowdown(placement.tile)
+        for step in range(slowdown):
+            slot = (placement.time + step) % mapping.ii
+            slots[slot] = label if step == 0 else f"={label[:max_width - 1]}"
+    for tile in sorted(by_tile):
+        cells = [
+            by_tile[tile].get(slot, "").ljust(max_width)
+            for slot in range(mapping.ii)
+        ]
+        lines.append(f"{tile:<6}| " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_dfg(dfg: DFG, labels: dict[int, DVFSLevel] | None = None) -> str:
+    """A one-line-per-node dump of the DFG (with optional DVFS labels)."""
+    lines = [f"{dfg.name}: {dfg.num_nodes} nodes, {dfg.num_edges} edges"]
+    for node in dfg.nodes():
+        outs = ", ".join(
+            f"{dfg.node(e.dst).label}"
+            + (f"[d{e.dist}]" if e.dist else "")
+            for e in dfg.out_edges(node.id)
+        )
+        tag = ""
+        if labels is not None and node.id in labels:
+            tag = f" @{labels[node.id].name}"
+        lines.append(
+            f"  {node.label:<10} {node.opcode.name.lower():<8}{tag:<8}"
+            f" -> {outs or '(sink)'}"
+        )
+    return "\n".join(lines)
+
+
+def render_dfg_dot(dfg: DFG, labels: dict[int, DVFSLevel] | None = None) -> str:
+    """Graphviz DOT export of a DFG (Fig 1-style drawings).
+
+    Nodes carry their opcode; DVFS labels (if given) color them the way
+    the paper's figures do: green for normal critical-path nodes, blue
+    for relax, grey for rest. Loop-carried edges are dashed and
+    annotated with their distance.
+    """
+    colors = {"normal": "palegreen", "relax": "lightblue",
+              "rest": "lightgrey"}
+    lines = [f'digraph "{dfg.name}" {{', "  rankdir=TB;",
+             "  node [shape=box, style=filled, fillcolor=white];"]
+    for node in dfg.nodes():
+        attrs = [f'label="{node.label}\\n{node.opcode.name.lower()}"']
+        if labels is not None and node.id in labels:
+            fill = colors.get(labels[node.id].name, "white")
+            attrs.append(f'fillcolor="{fill}"')
+        lines.append(f"  n{node.id} [{', '.join(attrs)}];")
+    for edge in dfg.edges():
+        if edge.dist:
+            lines.append(
+                f'  n{edge.src} -> n{edge.dst} '
+                f'[style=dashed, label="d{edge.dist}"];'
+            )
+        else:
+            lines.append(f"  n{edge.src} -> n{edge.dst};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_utilization_heatmap(mapping: Mapping, report=None) -> str:
+    """Per-tile busy-fraction heat map (0-9 scale, '.' = gated)."""
+    from repro.mapper.timing import compute_timing
+
+    report = report or compute_timing(mapping)
+    cgra = mapping.cgra
+    lines = [f"utilization heat map of {mapping.dfg.name!r} "
+             "(0-9 tenths of the II busy, . = power gated)"]
+    for y in range(cgra.rows):
+        row = []
+        for x in range(cgra.cols):
+            tile = cgra.tile_at(x, y).id
+            if mapping.tile_levels[tile].is_gated:
+                row.append(".")
+            else:
+                tenths = min(9, round(9 * report.busy_fraction(tile)))
+                row.append(str(tenths))
+        lines.append(" ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""Tests for the fabric: tiles, mesh, islands, SPM wiring."""
+
+import pytest
+
+from repro.arch import CGRA, ScratchpadMemory
+from repro.arch.islands import Island, island_lookup, partition_islands
+from repro.dfg.ops import Opcode
+from repro.errors import ArchitectureError, IslandConfigError
+
+
+class TestBuild:
+    def test_tile_count_and_ids(self, cgra66):
+        assert cgra66.num_tiles == 36
+        assert [t.id for t in cgra66.tiles] == list(range(36))
+
+    def test_row_major_coordinates(self, cgra66):
+        t = cgra66.tile(8)
+        assert (t.x, t.y) == (2, 1)
+        assert cgra66.tile_at(2, 1).id == 8
+
+    def test_memory_column(self, cgra66):
+        assert cgra66.memory_tile_ids() == [0, 6, 12, 18, 24, 30]
+        assert cgra66.tile(0).has_memory_access
+        assert not cgra66.tile(1).has_memory_access
+
+    def test_custom_memory_columns(self):
+        cgra = CGRA.build(4, 4, memory_columns=(0, 3))
+        mems = cgra.memory_tile_ids()
+        assert 3 in mems and 0 in mems and 1 not in mems
+
+    def test_bad_memory_column(self):
+        with pytest.raises(ArchitectureError):
+            CGRA.build(4, 4, memory_columns=(9,))
+
+    def test_minimum_size(self):
+        with pytest.raises(ArchitectureError):
+            CGRA.build(0, 4)
+
+    def test_can_execute(self, cgra66):
+        assert cgra66.can_execute(0, Opcode.LOAD)
+        assert not cgra66.can_execute(1, Opcode.LOAD)
+        assert cgra66.can_execute(1, Opcode.MUL)
+
+
+class TestTopology:
+    def test_corner_neighbors(self, cgra44):
+        assert set(cgra44.neighbors(0)) == {1, 4}
+
+    def test_center_neighbors(self, cgra44):
+        assert set(cgra44.neighbors(5)) == {1, 4, 6, 9}
+
+    def test_links_are_directed_pairs(self, cgra44):
+        links = {(l.src, l.dst) for l in cgra44.links()}
+        assert (0, 1) in links and (1, 0) in links
+        assert (0, 5) not in links  # no diagonals
+
+    def test_link_count(self, cgra44):
+        # 2 * (rows*(cols-1) + cols*(rows-1)) directed links.
+        assert len(cgra44.links()) == 2 * (4 * 3 + 4 * 3)
+
+    def test_manhattan_distance(self, cgra44):
+        assert cgra44.distance(0, 15) == 6
+        assert cgra44.distance(5, 5) == 0
+        assert cgra44.distance(1, 4) == 2
+
+    def test_bad_tile_raises(self, cgra44):
+        with pytest.raises(ArchitectureError):
+            cgra44.tile(99)
+        with pytest.raises(ArchitectureError):
+            cgra44.tile_at(7, 7)
+
+
+class TestIslands:
+    def test_default_partition(self, cgra66):
+        assert len(cgra66.islands) == 9
+        assert all(i.num_tiles == 4 for i in cgra66.islands)
+
+    def test_island_of(self, cgra66):
+        assert cgra66.island_of(0).id == 0
+        assert cgra66.island_of(7).id == 0
+        assert cgra66.island_of(2).id == 1
+        assert cgra66.island_of(35).id == 8
+
+    def test_islands_cover_fabric_disjointly(self, cgra66):
+        seen = [t for isl in cgra66.islands for t in isl.tile_ids]
+        assert sorted(seen) == list(range(36))
+
+    def test_with_islands(self, cgra66):
+        per_tile = cgra66.with_islands((1, 1))
+        assert len(per_tile.islands) == 36
+        assert all(i.num_tiles == 1 for i in per_tile.islands)
+
+    def test_irregular_islands(self):
+        # 3x3 islands on an 8x8 fabric: the paper's irregular case.
+        islands = partition_islands(8, 8, 3, 3)
+        assert sum(i.num_tiles for i in islands) == 64
+        sizes = sorted(i.num_tiles for i in islands)
+        assert sizes[0] < 9 and sizes[-1] == 9
+        assert not all(i.is_regular for i in islands)
+
+    def test_island_shape_name(self, cgra66):
+        assert cgra66.island_shape_name == "2x2"
+
+    def test_partition_validation(self):
+        with pytest.raises(IslandConfigError):
+            partition_islands(4, 4, 5, 5)
+        with pytest.raises(IslandConfigError):
+            partition_islands(0, 4, 1, 1)
+
+    def test_duplicate_tile_rejected(self):
+        bad = [Island(0, (0, 1), 2, 1), Island(1, (1, 2), 2, 1)]
+        with pytest.raises(IslandConfigError):
+            island_lookup(bad)
+
+
+class TestSPM:
+    def test_defaults(self):
+        spm = ScratchpadMemory()
+        assert spm.size_bytes == 32 * 1024
+        assert spm.num_banks == 8
+        assert spm.num_words == 8192
+        assert spm.words_per_bank == 1024
+
+    def test_bank_interleaving(self):
+        spm = ScratchpadMemory()
+        assert spm.bank_of(0) == 0
+        assert spm.bank_of(7) == 7
+        assert spm.bank_of(8) == 0
+
+    def test_out_of_range(self):
+        spm = ScratchpadMemory()
+        with pytest.raises(ArchitectureError):
+            spm.bank_of(-1)
+        with pytest.raises(ArchitectureError):
+            spm.bank_of(8192)
+
+    def test_fits(self):
+        spm = ScratchpadMemory()
+        assert spm.fits(32 * 1024)
+        assert not spm.fits(32 * 1024 + 1)
+        assert not spm.fits(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ArchitectureError):
+            ScratchpadMemory(size_bytes=0)
+        with pytest.raises(ArchitectureError):
+            ScratchpadMemory(size_bytes=100, num_banks=3)
+
+
+class TestBankConflicts:
+    def test_conflict_counting(self):
+        from repro.arch.spm import BankConflictTracker
+        tracker = BankConflictTracker(ScratchpadMemory())
+        tracker.begin_cycle()
+        assert not tracker.access(0, is_write=False)
+        assert tracker.access(8, is_write=False)  # same bank, same cycle
+        assert not tracker.access(0, is_write=True)  # write port separate
+        assert tracker.conflicts == 1
+        tracker.begin_cycle()
+        assert not tracker.access(16, is_write=False)  # new cycle resets
+        assert tracker.conflict_rate == pytest.approx(1 / 4)

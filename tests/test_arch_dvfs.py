@@ -1,0 +1,138 @@
+"""Tests for DVFS levels and configurations."""
+
+import pytest
+
+from repro.arch.dvfs import (
+    DEFAULT_DVFS_CONFIG,
+    DVFSConfig,
+    DVFSLevel,
+    NORMAL,
+    POWER_GATED,
+    RELAX,
+    REST,
+    scaled_config,
+)
+from repro.errors import ArchitectureError
+
+
+class TestLevels:
+    def test_paper_operating_points(self):
+        assert (NORMAL.voltage, NORMAL.frequency_mhz) == (0.70, 434.0)
+        assert (RELAX.voltage, RELAX.frequency_mhz) == (0.50, 217.0)
+        assert (REST.voltage, REST.frequency_mhz) == (0.42, 108.5)
+
+    def test_equation_1_frequency_ratios(self):
+        assert NORMAL.frequency_mhz == 2 * RELAX.frequency_mhz
+        assert NORMAL.frequency_mhz == 4 * REST.frequency_mhz
+
+    def test_slowdowns(self):
+        assert (NORMAL.slowdown, RELAX.slowdown, REST.slowdown) == (1, 2, 4)
+
+    def test_gated_properties(self):
+        assert POWER_GATED.is_gated
+        assert POWER_GATED.speed_fraction == 0.0
+        assert not NORMAL.is_gated
+
+    def test_speed_fraction(self):
+        assert NORMAL.speed_fraction == 1.0
+        assert RELAX.speed_fraction == 0.5
+        assert REST.speed_fraction == 0.25
+
+    def test_at_least_as_fast_as(self):
+        assert NORMAL.at_least_as_fast_as(REST)
+        assert NORMAL.at_least_as_fast_as(NORMAL)
+        assert not REST.at_least_as_fast_as(NORMAL)
+        assert RELAX.at_least_as_fast_as(REST)
+
+    def test_gated_comparisons(self):
+        assert NORMAL.at_least_as_fast_as(POWER_GATED)
+        assert not POWER_GATED.at_least_as_fast_as(NORMAL)
+        assert POWER_GATED.at_least_as_fast_as(POWER_GATED)
+
+    def test_negative_slowdown_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DVFSLevel("bad", 0.5, 100.0, -1)
+
+    def test_gated_level_must_be_zero(self):
+        with pytest.raises(ArchitectureError):
+            DVFSLevel("bad", 0.5, 0.0, 0)
+
+
+class TestConfig:
+    def test_default_levels(self):
+        names = [lv.name for lv in DEFAULT_DVFS_CONFIG.levels]
+        assert names == ["normal", "relax", "rest"]
+
+    def test_normal_and_slowest(self):
+        assert DEFAULT_DVFS_CONFIG.normal is NORMAL
+        assert DEFAULT_DVFS_CONFIG.slowest is REST
+
+    def test_level_named(self):
+        assert DEFAULT_DVFS_CONFIG.level_named("relax") is RELAX
+        assert DEFAULT_DVFS_CONFIG.level_named("power_gated") is POWER_GATED
+        with pytest.raises(ArchitectureError):
+            DEFAULT_DVFS_CONFIG.level_named("turbo")
+
+    def test_slower_faster_clamped(self):
+        cfg = DEFAULT_DVFS_CONFIG
+        assert cfg.slower(NORMAL) is RELAX
+        assert cfg.slower(REST) is REST
+        assert cfg.faster(REST) is RELAX
+        assert cfg.faster(NORMAL) is NORMAL
+
+    def test_fraction_metric(self):
+        cfg = DEFAULT_DVFS_CONFIG
+        assert cfg.fraction(NORMAL) == 1.0
+        assert cfg.fraction(RELAX) == 0.5
+        assert cfg.fraction(REST) == 0.25
+        assert cfg.fraction(POWER_GATED) == 0.0
+
+    def test_level_for_slowdown(self):
+        cfg = DEFAULT_DVFS_CONFIG
+        assert cfg.level_for_slowdown(1) is NORMAL
+        assert cfg.level_for_slowdown(2) is RELAX
+        assert cfg.level_for_slowdown(3) is RELAX
+        assert cfg.level_for_slowdown(4) is REST
+        assert cfg.level_for_slowdown(100) is REST
+
+    def test_unordered_levels_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DVFSConfig(levels=(REST, NORMAL))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DVFSConfig(levels=())
+
+    def test_duplicate_names_rejected(self):
+        dup = DVFSLevel("normal", 0.6, 217.0, 2)
+        with pytest.raises(ArchitectureError):
+            DVFSConfig(levels=(NORMAL, dup))
+
+    def test_index_of_gated_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DEFAULT_DVFS_CONFIG.index_of(POWER_GATED)
+
+
+class TestScaledConfig:
+    def test_matches_default_points(self):
+        cfg = scaled_config(3)
+        assert [lv.slowdown for lv in cfg.levels] == [1, 2, 4]
+        assert cfg.levels[0].frequency_mhz == 434.0
+        # Voltage fit passes within a few percent of the published pairs.
+        assert abs(cfg.levels[1].voltage - 0.50) < 0.05
+        assert abs(cfg.levels[2].voltage - 0.42) < 0.02
+
+    def test_more_levels(self):
+        cfg = scaled_config(5)
+        assert len(cfg.levels) == 5
+        assert cfg.slowest.slowdown == 16
+        assert cfg.slowest.voltage >= 0.55 * 0.7 - 1e-9
+
+    def test_single_level(self):
+        cfg = scaled_config(1)
+        assert len(cfg.levels) == 1
+        assert cfg.normal.slowdown == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ArchitectureError):
+            scaled_config(0)

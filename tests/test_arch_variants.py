@@ -1,0 +1,115 @@
+"""Tests for fabric variants: topologies and heterogeneous FUs."""
+
+import pytest
+
+from repro.arch import CGRA
+from repro.arch.fu import alu_fu
+from repro.dfg import DFGBuilder, Opcode
+from repro.errors import ArchitectureError, MappingError
+from repro.kernels import load_kernel
+from repro.mapper import map_baseline, map_dvfs_aware, validate_mapping
+
+
+class TestTopologies:
+    def test_mesh_distance_is_manhattan(self):
+        cgra = CGRA.build(4, 4)
+        assert cgra.distance(0, 15) == 6
+        assert cgra.distance(0, 3) == 3
+
+    def test_torus_wraps(self):
+        cgra = CGRA.build(4, 4, topology="torus")
+        # Opposite edges are adjacent on a torus.
+        assert 3 in cgra.neighbors(0)
+        assert 12 in cgra.neighbors(0)
+        assert cgra.distance(0, 3) == 1
+        assert cgra.distance(0, 15) == 2
+
+    def test_king_mesh_diagonals(self):
+        cgra = CGRA.build(4, 4, topology="king")
+        assert 5 in cgra.neighbors(0)
+        assert cgra.distance(0, 15) == 3  # diagonal walk
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ArchitectureError):
+            CGRA.build(4, 4, topology="hypercube")
+
+    def test_neighbor_counts(self):
+        mesh = CGRA.build(4, 4)
+        torus = CGRA.build(4, 4, topology="torus")
+        king = CGRA.build(4, 4, topology="king")
+        assert len(mesh.neighbors(5)) == 4
+        assert len(torus.neighbors(0)) == 4  # wrap restores full degree
+        assert len(king.neighbors(5)) == 8
+
+    @pytest.mark.parametrize("topology", ["torus", "king"])
+    def test_mapping_on_alternative_topology(self, topology):
+        cgra = CGRA.build(6, 6, topology=topology)
+        mapping = map_dvfs_aware(load_kernel("relu", 1), cgra)
+        validate_mapping(mapping)
+
+    def test_richer_topology_never_hurts_ii(self):
+        dfg = load_kernel("fir", 1)
+        mesh_ii = map_baseline(dfg, CGRA.build(6, 6)).ii
+        king_ii = map_baseline(
+            dfg, CGRA.build(6, 6, topology="king")
+        ).ii
+        assert king_ii <= mesh_ii + 1  # more links, same or better
+
+    def test_with_islands_preserves_topology(self):
+        cgra = CGRA.build(4, 4, topology="torus")
+        re_islanded = cgra.with_islands((1, 1))
+        assert re_islanded.topology == "torus"
+        assert 3 in re_islanded.neighbors(0)
+
+
+class TestHeterogeneousFUs:
+    def mul_kernel(self):
+        b = DFGBuilder("mulk")
+        a = b.op(Opcode.LOAD)
+        c = b.op(Opcode.LOAD)
+        m = b.op(Opcode.MUL, a, c)
+        b.op(Opcode.STORE, m)
+        return b.build()
+
+    def test_alu_fu_capability(self):
+        fu = alu_fu()
+        assert fu.supports(Opcode.ADD)
+        assert not fu.supports(Opcode.MUL)
+        assert not fu.supports(Opcode.DIV)
+
+    def test_mul_avoids_alu_only_tiles(self):
+        # All non-memory tiles except tile 5 are ALU-only.
+        alu_only = tuple(
+            t for t in range(16) if t % 4 != 0 and t != 5
+        )
+        cgra = CGRA.build(4, 4, alu_only_tiles=alu_only)
+        mapping = map_baseline(self.mul_kernel(), cgra)
+        validate_mapping(mapping)
+        mul_node = next(
+            n.id for n in mapping.dfg.nodes() if n.opcode is Opcode.MUL
+        )
+        tile = mapping.placements[mul_node].tile
+        assert cgra.tile(tile).supports(Opcode.MUL)
+        assert tile not in alu_only
+
+    def test_memory_columns_keep_full_capability(self):
+        cgra = CGRA.build(4, 4, alu_only_tiles=(0, 4))
+        # Memory columns override the ALU-only marking.
+        assert cgra.tile(0).supports(Opcode.MUL)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ArchitectureError):
+            CGRA.build(4, 4, alu_only_tiles=(99,))
+
+    def test_unmappable_when_no_multiplier(self):
+        alu_only = tuple(t for t in range(16) if t % 4 != 0)
+        cgra = CGRA.build(4, 4, alu_only_tiles=alu_only)
+        b = DFGBuilder("needs_div")
+        x = b.op(Opcode.LOAD)
+        y = b.op(Opcode.LOAD)
+        d = b.op(Opcode.DIV, x, y)
+        b.op(Opcode.STORE, d)
+        dfg = b.build()
+        # DIV only exists on memory tiles here; still mappable.
+        mapping = map_baseline(dfg, cgra)
+        validate_mapping(mapping)

@@ -1,0 +1,118 @@
+"""Tests for value-accurate co-simulation of mapped kernels."""
+
+import pytest
+
+from repro.arch import CGRA
+from repro.errors import SimulationError
+from repro.frontend import lower_kernel, run_kernel_ast
+from repro.kernels.programs import (
+    conv1d_program,
+    fir_program,
+    relu_program,
+    spmv_program,
+)
+from repro.mapper import map_baseline, map_dvfs_aware
+from repro.sim.cosim import cosimulate
+from repro.utils.rng import make_rng
+
+PROGRAMS = {
+    "fir": lambda: fir_program(n=10, taps=3),
+    "relu": lambda: relu_program(n=12),
+    "conv1d": lambda: conv1d_program(n=8, k=2),
+}
+
+
+def prepared(name, seed=0):
+    kernel = PROGRAMS[name]()
+    rng = make_rng(seed)
+    memory = {
+        arr: rng.normal(size=size).tolist()
+        for arr, size in kernel.arrays.items()
+    }
+    return kernel, memory, lower_kernel(kernel, flatten=True)
+
+
+class TestCosimulation:
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_baseline_mapping_computes_reference_results(self, name):
+        kernel, memory, lowered = prepared(name)
+        expected = run_kernel_ast(kernel, memory)
+        mapping = map_baseline(lowered.dfg, CGRA.build(6, 6))
+        result = cosimulate(lowered, mapping, memory)
+        for array in kernel.arrays:
+            assert result.memory[array] == pytest.approx(expected[array])
+        assert result.values_checked > 0
+
+    @pytest.mark.parametrize("name", sorted(PROGRAMS))
+    def test_iced_mapping_computes_reference_results(self, name):
+        kernel, memory, lowered = prepared(name, seed=4)
+        expected = run_kernel_ast(kernel, memory)
+        mapping = map_dvfs_aware(lowered.dfg, CGRA.build(6, 6))
+        result = cosimulate(lowered, mapping, memory)
+        for array in kernel.arrays:
+            assert result.memory[array] == pytest.approx(expected[array])
+
+    def test_indirect_access_kernel(self):
+        kernel = spmv_program(rows=4, nnz_per_row=2)
+        rng = make_rng(2)
+        memory = {
+            arr: rng.normal(size=size).tolist()
+            for arr, size in kernel.arrays.items()
+        }
+        memory["col"] = [float(int(abs(v) * 10) % 4) for v in memory["col"]]
+        lowered = lower_kernel(kernel, flatten=True)
+        expected = run_kernel_ast(kernel, memory)
+        mapping = map_dvfs_aware(lowered.dfg, CGRA.build(6, 6))
+        result = cosimulate(lowered, mapping, memory)
+        assert result.memory["y"] == pytest.approx(expected["y"])
+
+    def test_wrong_dfg_rejected(self):
+        _, memory, lowered = prepared("fir")
+        _, _, other = prepared("relu")
+        mapping = map_baseline(other.dfg, CGRA.build(6, 6))
+        with pytest.raises(SimulationError, match="disagree"):
+            cosimulate(lowered, mapping, memory)
+
+    def test_cycle_count_reported(self):
+        _, memory, lowered = prepared("fir")
+        mapping = map_baseline(lowered.dfg, CGRA.build(6, 6))
+        result = cosimulate(lowered, mapping, memory)
+        assert result.total_cycles >= (lowered.trip_count - 1) * mapping.ii
+
+    def test_partial_iterations(self):
+        _, memory, lowered = prepared("fir")
+        mapping = map_baseline(lowered.dfg, CGRA.build(6, 6))
+        result = cosimulate(lowered, mapping, memory, iterations=5)
+        assert result.iterations == 5
+
+    def test_bank_accounting(self):
+        _, memory, lowered = prepared("fir")
+        mapping = map_baseline(lowered.dfg, CGRA.build(6, 6))
+        result = cosimulate(lowered, mapping, memory)
+        # Every iteration loads x and h and (on wrap) stores y.
+        assert result.memory_accesses >= 2 * lowered.trip_count
+        assert 0.0 <= result.bank_conflict_rate <= 1.0
+        assert result.bank_conflicts <= result.memory_accesses
+
+    def test_corrupted_schedule_detected(self):
+        # Move a consumer's issue time one iteration early: timing
+        # validation itself should already reject it; if the corruption
+        # is crafted to stay resource-consistent, the arrival check
+        # fires instead. Either way cosimulate must raise.
+        import copy
+        from repro.errors import ValidationError
+        from repro.mapper.mapping import Placement
+        _, memory, lowered = prepared("fir")
+        mapping = map_baseline(lowered.dfg, CGRA.build(6, 6))
+        broken = copy.copy(mapping)
+        broken.placements = dict(mapping.placements)
+        # Pull the latest-issued node far earlier than its operands.
+        victim = max(
+            (n for n in broken.placements
+             if lowered.dfg.in_edges(n)),
+            key=lambda n: broken.placements[n].time,
+        )
+        old = broken.placements[victim]
+        broken.placements[victim] = Placement(victim, old.tile, 0)
+        with pytest.raises((SimulationError, ValidationError)):
+            cosimulate(lowered, broken, memory)

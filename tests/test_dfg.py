@@ -1,0 +1,165 @@
+"""Tests for the DFG IR: graph container, builder, validation."""
+
+import pytest
+
+from repro.dfg import DFG, DFGBuilder, Opcode
+from repro.dfg.ops import arity, is_memory_op, ASSOCIATIVE_OPS
+from repro.errors import DFGError
+
+
+class TestOps:
+    def test_arity_defaults(self):
+        assert arity(Opcode.ADD) == 2
+        assert arity(Opcode.SELECT) == 3
+        assert arity(Opcode.NOT) == 1
+        assert arity(Opcode.PHI) == 4
+        assert arity(Opcode.CONST) == 0
+
+    def test_memory_ops(self):
+        assert is_memory_op(Opcode.LOAD)
+        assert is_memory_op(Opcode.STORE)
+        assert not is_memory_op(Opcode.ADD)
+
+    def test_associative_set(self):
+        assert Opcode.ADD in ASSOCIATIVE_OPS
+        assert Opcode.SUB not in ASSOCIATIVE_OPS
+
+
+class TestGraph:
+    def test_add_node_assigns_dense_ids(self):
+        dfg = DFG()
+        assert dfg.add_node(Opcode.ADD) == 0
+        assert dfg.add_node(Opcode.MUL) == 1
+        assert dfg.num_nodes == 2
+
+    def test_add_edge_and_adjacency(self):
+        dfg = DFG()
+        a, b = dfg.add_node(Opcode.LOAD), dfg.add_node(Opcode.ADD)
+        dfg.add_edge(a, b)
+        assert dfg.successors(a) == [b]
+        assert dfg.predecessors(b) == [a]
+        assert dfg.num_edges == 1
+
+    def test_edge_to_missing_node_rejected(self):
+        dfg = DFG()
+        a = dfg.add_node(Opcode.ADD)
+        with pytest.raises(DFGError):
+            dfg.add_edge(a, 99)
+        with pytest.raises(DFGError):
+            dfg.add_edge(99, a)
+
+    def test_negative_distance_rejected(self):
+        dfg = DFG()
+        a, b = dfg.add_node(Opcode.ADD), dfg.add_node(Opcode.ADD)
+        with pytest.raises(DFGError):
+            dfg.add_edge(a, b, dist=-1)
+
+    def test_parallel_edges_allowed(self):
+        dfg = DFG()
+        a, b = dfg.add_node(Opcode.LOAD), dfg.add_node(Opcode.MUL)
+        dfg.add_edge(a, b, port=0)
+        dfg.add_edge(a, b, port=1)
+        assert dfg.num_edges == 2
+
+    def test_remove_node_cleans_edges(self):
+        dfg = DFG()
+        a, b, c = (dfg.add_node(Opcode.ADD) for _ in range(3))
+        dfg.add_edge(a, b)
+        dfg.add_edge(b, c)
+        dfg.remove_node(b)
+        assert dfg.num_nodes == 2
+        assert dfg.num_edges == 0
+        assert dfg.successors(a) == []
+
+    def test_memory_nodes(self):
+        dfg = DFG()
+        ld = dfg.add_node(Opcode.LOAD)
+        dfg.add_node(Opcode.ADD)
+        st = dfg.add_node(Opcode.STORE)
+        assert dfg.memory_nodes() == [ld, st]
+
+    def test_copy_is_independent(self):
+        dfg = DFG(name="orig")
+        a = dfg.add_node(Opcode.ADD)
+        clone = dfg.copy(name="clone")
+        clone.add_node(Opcode.MUL)
+        assert dfg.num_nodes == 1
+        assert clone.num_nodes == 2
+        assert clone.name == "clone"
+        assert clone.node(a).opcode is Opcode.ADD
+
+    def test_to_networkx(self):
+        dfg = DFG()
+        a, b = dfg.add_node(Opcode.ADD), dfg.add_node(Opcode.ADD)
+        dfg.add_edge(a, b, dist=1)
+        g = dfg.to_networkx()
+        assert g.number_of_nodes() == 2
+        assert list(g.edges(data="dist"))[0][2] == 1
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(DFGError):
+            DFG().validate()
+
+    def test_arity_enforced(self):
+        dfg = DFG()
+        inputs = [dfg.add_node(Opcode.LOAD) for _ in range(3)]
+        add = dfg.add_node(Opcode.ADD)
+        for i in inputs:
+            dfg.add_edge(i, add)
+        with pytest.raises(DFGError, match="inputs"):
+            dfg.validate()
+
+    def test_dist0_cycle_rejected(self):
+        dfg = DFG()
+        a, b = dfg.add_node(Opcode.ADD), dfg.add_node(Opcode.ADD)
+        dfg.add_edge(a, b)
+        dfg.add_edge(b, a)
+        with pytest.raises(DFGError, match="cycle"):
+            dfg.validate()
+
+    def test_loop_carried_cycle_ok(self):
+        dfg = DFG()
+        a, b = dfg.add_node(Opcode.PHI), dfg.add_node(Opcode.ADD)
+        dfg.add_edge(a, b)
+        dfg.add_edge(b, a, dist=1)
+        dfg.validate()
+
+
+class TestBuilder:
+    def test_op_wiring(self):
+        b = DFGBuilder("t")
+        x = b.op(Opcode.LOAD)
+        y = b.op(Opcode.LOAD)
+        z = b.op(Opcode.MUL, x, y)
+        dfg = b.build()
+        assert dfg.predecessors(z) == [x, y]
+        ports = [e.port for e in dfg.in_edges(z)]
+        assert ports == [0, 1]
+
+    def test_recurrence_helper(self):
+        b = DFGBuilder("t")
+        nodes = b.recurrence([Opcode.PHI, Opcode.ADD, Opcode.SELECT])
+        dfg = b.build()
+        back = [e for e in dfg.edges() if e.dist == 1]
+        assert len(back) == 1
+        assert back[0].src == nodes[-1] and back[0].dst == nodes[0]
+
+    def test_back_edge_requires_distance(self):
+        b = DFGBuilder("t")
+        x = b.op(Opcode.PHI)
+        y = b.op(Opcode.ADD, x)
+        with pytest.raises(ValueError):
+            b.back_edge(y, x, dist=0)
+
+    def test_single_use(self):
+        b = DFGBuilder("t")
+        b.op(Opcode.ADD)
+        b.build()
+        with pytest.raises(RuntimeError):
+            b.build()
+
+    def test_empty_recurrence_rejected(self):
+        with pytest.raises(ValueError):
+            DFGBuilder("t").recurrence([])

@@ -1,0 +1,131 @@
+"""Tests for DFG analyses: recurrence cycles, MII bounds, orders."""
+
+import pytest
+
+from repro.dfg import DFGBuilder, Opcode
+from repro.dfg.analysis import (
+    asap_levels,
+    critical_cycle_nodes,
+    dfg_stats,
+    height_levels,
+    min_ii,
+    rec_mii,
+    recurrence_cycles,
+    res_mii,
+    topo_order,
+)
+from repro.errors import DFGError
+
+
+def chain_with_cycle(cycle_len: int, dist: int = 1):
+    b = DFGBuilder("t")
+    ops = [Opcode.PHI] + [Opcode.ADD] * (cycle_len - 1)
+    nodes = b.recurrence(ops, dist=dist)
+    ld = b.op(Opcode.LOAD)
+    b.edge(ld, nodes[0])
+    st = b.op(Opcode.STORE, nodes[-1])
+    return b.build(), nodes, ld, st
+
+
+class TestRecurrenceCycles:
+    def test_single_cycle(self):
+        dfg, nodes, _, _ = chain_with_cycle(4)
+        cycles = recurrence_cycles(dfg)
+        assert len(cycles) == 1
+        assert cycles[0].length == 4
+        assert cycles[0].distance == 1
+        assert cycles[0].mii == 4
+        assert set(cycles[0].nodes) == set(nodes)
+
+    def test_distance_two_halves_mii(self):
+        dfg, _, _, _ = chain_with_cycle(4, dist=2)
+        assert rec_mii(dfg) == 2
+
+    def test_acyclic_mii_is_one(self):
+        b = DFGBuilder("t")
+        x = b.op(Opcode.LOAD)
+        b.op(Opcode.STORE, x)
+        assert rec_mii(b.build()) == 1
+
+    def test_multiple_cycles_sorted_longest_first(self):
+        b = DFGBuilder("t")
+        b.recurrence([Opcode.PHI] + [Opcode.ADD] * 3)
+        b.recurrence([Opcode.PHI, Opcode.ADD])
+        dfg = b.build()
+        cycles = recurrence_cycles(dfg)
+        assert [c.length for c in cycles] == [4, 2]
+
+    def test_parallel_edges_take_min_distance(self):
+        b = DFGBuilder("t")
+        a = b.op(Opcode.PHI)
+        c = b.op(Opcode.ADD, a)
+        b.edge(c, a, dist=2)
+        b.edge(c, a, dist=1, port=1)
+        dfg = b.build()
+        assert rec_mii(dfg) == 2  # min distance 1 over 2 nodes
+
+    def test_fig1_cycles(self, fig1):
+        cycles = recurrence_cycles(fig1)
+        lengths = sorted(c.length for c in cycles)
+        assert lengths == [2, 4]
+        assert rec_mii(fig1) == 4
+
+
+class TestMIIBounds:
+    def test_res_mii(self, fig1):
+        assert res_mii(fig1, 16) == 1
+        assert res_mii(fig1, 4) == 3
+        assert res_mii(fig1, 1) == 11
+
+    def test_res_mii_invalid(self, fig1):
+        with pytest.raises(ValueError):
+            res_mii(fig1, 0)
+
+    def test_min_ii(self, fig1):
+        assert min_ii(fig1, 16) == 4   # RecMII dominates
+        assert min_ii(fig1, 1) == 11   # ResMII dominates
+
+
+class TestCriticalNodes:
+    def test_only_longest_cycle_is_critical(self, fig1):
+        critical = critical_cycle_nodes(fig1)
+        names = {fig1.node(n).label for n in critical}
+        assert names == {"n1", "n4", "n7", "n9"}
+
+    def test_acyclic_no_critical(self):
+        b = DFGBuilder("t")
+        x = b.op(Opcode.LOAD)
+        b.op(Opcode.STORE, x)
+        assert critical_cycle_nodes(b.build()) == set()
+
+
+class TestOrders:
+    def test_topo_respects_forward_edges(self, fig1):
+        order = topo_order(fig1)
+        position = {n: i for i, n in enumerate(order)}
+        for edge in fig1.edges():
+            if edge.dist == 0:
+                assert position[edge.src] < position[edge.dst]
+
+    def test_topo_covers_all_nodes(self, fig1):
+        assert sorted(topo_order(fig1)) == fig1.node_ids()
+
+    def test_asap_levels(self):
+        dfg, nodes, ld, st = chain_with_cycle(3)
+        levels = asap_levels(dfg)
+        assert levels[ld] == 0
+        assert levels[nodes[0]] == 1
+        assert levels[st] == levels[nodes[-1]] + 1
+
+    def test_height_levels(self):
+        dfg, nodes, ld, st = chain_with_cycle(3)
+        heights = height_levels(dfg)
+        assert heights[st] == 0
+        assert heights[ld] > heights[nodes[0]]
+
+
+class TestStats:
+    def test_stats(self, fig1):
+        stats = dfg_stats(fig1)
+        assert (stats.nodes, stats.edges, stats.rec_mii) == (11, 15, 4)
+        assert stats.name == "fig1"

@@ -1,0 +1,102 @@
+"""Tests for loop unrolling and dead-node elimination."""
+
+import pytest
+
+from repro.dfg import DFGBuilder, Opcode, rec_mii, unroll
+from repro.dfg.transforms import remove_dead_nodes
+from repro.errors import DFGError
+
+
+def simple_loop():
+    b = DFGBuilder("loop")
+    phi, add = b.recurrence([Opcode.PHI, Opcode.ADD])
+    ld = b.op(Opcode.LOAD)
+    b.edge(ld, phi)
+    st = b.op(Opcode.STORE, add)
+    return b.build()
+
+
+class TestUnroll:
+    def test_factor_one_is_copy(self):
+        dfg = simple_loop()
+        u = unroll(dfg, 1)
+        assert u.num_nodes == dfg.num_nodes
+        assert u is not dfg
+
+    def test_node_and_edge_multiplication(self):
+        dfg = simple_loop()
+        u = unroll(dfg, 3)
+        assert u.num_nodes == dfg.num_nodes * 3
+        assert u.num_edges == dfg.num_edges * 3
+
+    def test_serial_recurrence_mii_scales(self):
+        dfg = simple_loop()
+        assert rec_mii(dfg) == 2
+        assert rec_mii(unroll(dfg, 2)) == 4
+        assert rec_mii(unroll(dfg, 4)) == 8
+
+    def test_distance_folding(self):
+        # A dist-2 edge unrolled by 2 becomes a dist-1 edge between
+        # matching copies.
+        b = DFGBuilder("d2")
+        phi = b.op(Opcode.PHI)
+        add = b.op(Opcode.ADD, phi)
+        b.edge(add, phi, dist=2)
+        dfg = b.build()
+        u = unroll(dfg, 2)
+        dists = sorted(e.dist for e in u.edges())
+        assert dists == [0, 0, 1, 1]
+
+    def test_unrolled_graph_validates(self):
+        u = unroll(simple_loop(), 4)
+        u.validate()
+
+    def test_bad_factor(self):
+        with pytest.raises(DFGError):
+            unroll(simple_loop(), 0)
+
+    def test_names_tagged_by_copy(self):
+        u = unroll(simple_loop(), 2)
+        labels = [n.label for n in u.nodes()]
+        assert any(label.endswith(".0") for label in labels)
+        assert any(label.endswith(".1") for label in labels)
+
+
+class TestDeadNodeElimination:
+    def test_prunes_unreachable(self):
+        b = DFGBuilder("dead")
+        live_ld = b.op(Opcode.LOAD)
+        st = b.op(Opcode.STORE, live_ld)
+        dead = b.op(Opcode.ADD, live_ld)
+        b.op(Opcode.MUL, dead)
+        dfg = b.build()
+        pruned = remove_dead_nodes(dfg)
+        assert pruned.num_nodes == 2
+        assert {n.opcode for n in pruned.nodes()} == {
+            Opcode.LOAD, Opcode.STORE
+        }
+
+    def test_keeps_loop_carried_ancestors(self):
+        b = DFGBuilder("rec")
+        phi, add = b.recurrence([Opcode.PHI, Opcode.ADD])
+        b.op(Opcode.STORE, add)
+        dfg = b.build()
+        pruned = remove_dead_nodes(dfg)
+        assert pruned.num_nodes == 3
+
+    def test_no_stores_returns_copy(self):
+        b = DFGBuilder("nostore")
+        x = b.op(Opcode.LOAD)
+        b.op(Opcode.ADD, x)
+        dfg = b.build()
+        pruned = remove_dead_nodes(dfg)
+        assert pruned.num_nodes == dfg.num_nodes
+
+    def test_explicit_live_set(self):
+        b = DFGBuilder("custom")
+        x = b.op(Opcode.LOAD)
+        y = b.op(Opcode.ADD, x)
+        b.op(Opcode.MUL, x)
+        dfg = b.build()
+        pruned = remove_dead_nodes(dfg, live=[y])
+        assert pruned.num_nodes == 2

@@ -1,0 +1,25 @@
+"""Docstring examples must stay executable (they are the API's
+first documentation)."""
+
+import doctest
+
+import pytest
+
+import repro.arch.cgra
+import repro.dfg.builder
+import repro.utils.tables
+
+MODULES = [
+    repro.arch.cgra,
+    repro.dfg.builder,
+    repro.utils.tables,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE
+    )[0], None
+    assert failures == 0

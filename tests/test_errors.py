@@ -1,0 +1,34 @@
+"""The exception hierarchy: everything catchable as IcedError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_iced_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj is not errors.IcedError):
+                assert issubclass(obj, errors.IcedError), name
+
+    def test_mapping_error_carries_last_ii(self):
+        exc = errors.MappingError("nope", last_ii=12)
+        assert exc.last_ii == 12
+        assert "nope" in str(exc)
+
+    def test_mapping_error_default_ii(self):
+        assert errors.MappingError("x").last_ii is None
+
+    def test_partition_is_streaming_error(self):
+        assert issubclass(errors.PartitionError, errors.StreamingError)
+
+    def test_island_config_is_architecture_error(self):
+        assert issubclass(errors.IslandConfigError,
+                          errors.ArchitectureError)
+
+    def test_catch_all_at_api_boundary(self):
+        from repro.arch import CGRA
+        with pytest.raises(errors.IcedError):
+            CGRA.build(0, 0)

@@ -1,0 +1,87 @@
+"""Tests for the exhaustive optimal mapper and the heuristic's gap."""
+
+import pytest
+
+from repro.arch import CGRA
+from repro.dfg import DFGBuilder, Opcode
+from repro.errors import MappingError
+from repro.kernels import load_kernel
+from repro.mapper import map_baseline, validate_mapping
+from repro.mapper.exhaustive import map_exhaustive
+
+
+def tiny_chain(n: int = 4):
+    b = DFGBuilder("chain")
+    prev = b.op(Opcode.LOAD)
+    for _ in range(n - 2):
+        prev = b.op(Opcode.ADD, prev)
+    b.op(Opcode.STORE, prev)
+    return b.build()
+
+
+def tiny_recurrence():
+    b = DFGBuilder("rec")
+    phi, add = b.recurrence([Opcode.PHI, Opcode.ADD])
+    ld = b.op(Opcode.LOAD)
+    b.edge(ld, phi)
+    b.op(Opcode.STORE, add)
+    return b.build()
+
+
+def diamond():
+    b = DFGBuilder("diamond")
+    ld = b.op(Opcode.LOAD)
+    left = b.op(Opcode.ADD, ld)
+    right = b.op(Opcode.MUL, ld)
+    join = b.op(Opcode.SUB, left, right)
+    b.op(Opcode.STORE, join)
+    return b.build()
+
+
+FABRIC = CGRA.build(3, 3, island_shape=(3, 3))
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("factory", [tiny_chain, tiny_recurrence,
+                                         diamond])
+    def test_finds_valid_minimum(self, factory):
+        dfg = factory()
+        mapping, stats = map_exhaustive(dfg, FABRIC)
+        validate_mapping(mapping)
+        assert stats.probes > 0
+        # Optimality: no mapping exists at II - 1, by exhaustion.
+        if mapping.ii > 1:
+            with pytest.raises(MappingError):
+                map_exhaustive(dfg, FABRIC, max_ii=mapping.ii - 1)
+
+    def test_size_caps_enforced(self):
+        with pytest.raises(MappingError, match="caps"):
+            map_exhaustive(load_kernel("fir", 1), FABRIC)
+        with pytest.raises(MappingError, match="caps"):
+            map_exhaustive(tiny_chain(), CGRA.build(6, 6))
+
+    def test_probe_budget_enforced(self):
+        with pytest.raises(MappingError, match="probes"):
+            map_exhaustive(diamond(), FABRIC, max_probes=1)
+
+    @pytest.mark.parametrize("factory", [tiny_chain, tiny_recurrence,
+                                         diamond])
+    def test_heuristic_engine_matches_optimum(self, factory):
+        """The production engine's II must equal the provable minimum
+        on these instances (they are small enough to demand it)."""
+        dfg = factory()
+        optimal, _ = map_exhaustive(dfg, FABRIC)
+        heuristic = map_baseline(dfg, FABRIC)
+        assert heuristic.ii == optimal.ii
+
+    def test_heuristic_gap_on_denser_instance(self):
+        b = DFGBuilder("dense")
+        lds = [b.op(Opcode.LOAD) for _ in range(2)]
+        m1 = b.op(Opcode.MUL, lds[0], lds[1])
+        m2 = b.op(Opcode.ADD, lds[0], m1)
+        m3 = b.op(Opcode.SUB, m1, m2)
+        b.op(Opcode.STORE, m3)
+        dfg = b.build()
+        optimal, _ = map_exhaustive(dfg, FABRIC)
+        heuristic = map_baseline(dfg, FABRIC)
+        assert heuristic.ii <= optimal.ii + 1

@@ -1,0 +1,177 @@
+"""Tests for the experiment harnesses (reduced instances).
+
+Every table/figure harness must run, produce a well-formed result, and
+exhibit the paper's qualitative shape on its reduced instance.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, ExperimentResult
+from repro.experiments import (
+    ablation_labeling,
+    fig2,
+    fig3,
+    fig4,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig14,
+    table1,
+)
+
+SMALL = ("fir", "spmv", "histogram")
+
+
+def check_result(result: ExperimentResult):
+    assert result.id
+    assert result.table.rows
+    rendered = result.render()
+    assert result.id in rendered
+    json.dumps(result.to_dict())
+
+
+class TestTable1:
+    def test_full_match(self):
+        result = table1.run()
+        check_result(result)
+        assert result.data["mismatches"] == 0
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(kernels=SMALL, sizes=(4, 6), unrolls=(1,))
+
+    def test_shape(self, result):
+        check_result(result)
+
+    def test_utilization_drops_with_size(self, result):
+        series = result.series["avg utilization (unroll 1)"]
+        assert series[0] > series[-1]
+
+
+class TestFig3:
+    def test_walkthrough(self):
+        result = fig3.run()
+        check_result(result)
+        powers = result.series["power_mw"]
+        # Every DVFS variant beats the conventional mapping.
+        assert all(p < powers[0] for p in powers[1:])
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4.run(kernels=SMALL, size=8,
+                        island_shapes=((2, 2), (4, 4), (8, 8)))
+
+    def test_shape(self, result):
+        check_result(result)
+
+    def test_small_islands_fastest(self, result):
+        geo = result.data["geomean"]
+        assert geo["2x2"] >= geo["8x8"]
+        assert geo["2x2"] >= geo["4x4"] - 1e-9
+
+
+class TestFig8:
+    def test_calibration(self):
+        result = fig8.run()
+        check_result(result)
+        area = result.data["area_mm2"]
+        fabric = sum(v for k, v in area.items() if k != "sram")
+        assert fabric == pytest.approx(6.63, rel=0.02)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run(kernels=SMALL, unrolls=(1,))
+
+    def test_shape(self, result):
+        check_result(result)
+
+    def test_iced_improves_utilization(self, result):
+        assert result.data["iced_u1"] > 1.5 * result.data["baseline_u1"]
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig10.run(kernels=SMALL, unrolls=(1,))
+
+    def test_shape(self, result):
+        check_result(result)
+
+    def test_dvfs_levels_below_baseline(self, result):
+        assert result.data["iced_u1"] < result.data["baseline_u1"]
+        assert result.data["per_tile_dvfs_u1"] < result.data["baseline_u1"]
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run(kernels=SMALL, unrolls=(1,))
+
+    def test_shape(self, result):
+        check_result(result)
+
+    def test_iced_beats_baseline_energy(self, result):
+        assert result.data["iced_u1"] < result.data["baseline_u1"]
+
+    def test_per_tile_overhead_visible(self, result):
+        # Per-tile controllers cost ~30 %/tile: per-tile must not beat
+        # ICED (it pays 4x the controllers).
+        assert result.data["iced_u1"] < result.data["per_tile_dvfs_u1"]
+
+
+class TestFig12:
+    def test_levels_drop_with_size(self):
+        result = fig12.run(kernels=("fir", "histogram"), sizes=(4, 6))
+        check_result(result)
+        assert result.series["iced"][-1] <= result.series["iced"][0] + 0.05
+
+
+class TestFig14:
+    def test_comparison_table(self):
+        result = fig14.run(iterations=256)
+        check_result(result)
+        assert result.data["iced_mops"] > 0
+        assert len(result.table.rows) >= 5
+
+
+class TestAblations:
+    def test_labeling_ablation(self):
+        result = ablation_labeling.run(kernels=("fir", "histogram"))
+        check_result(result)
+        # Labels must stay within a sane band of the unlabeled arm:
+        # large regressions would mean Algorithm 1 is actively broken.
+        assert result.data["avg_gain"] >= 0.8
+        assert result.notes
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert {"table1", "fig2", "fig3", "fig4", "fig8", "fig9", "fig10",
+                "fig11", "fig12", "fig13", "fig14"} <= set(ALL_EXPERIMENTS)
+
+    def test_cli_help(self):
+        from repro.experiments.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["--help"])
+
+    def test_cli_runs_fig8(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+
+    def test_cli_json(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["fig8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["id"] == "fig8"

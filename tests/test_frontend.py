@@ -1,0 +1,211 @@
+"""Frontend tests: AST validation, lowering structure, interpreters."""
+
+import numpy as np
+import pytest
+
+from repro.dfg import Opcode, rec_mii
+from repro.errors import FrontendError
+from repro.frontend import (
+    Accumulate,
+    Assign,
+    Bin,
+    Cmp,
+    Const,
+    For,
+    If,
+    Kernel,
+    Ref,
+    Var,
+    lower_kernel,
+    run_kernel_ast,
+    run_lowered_dfg,
+)
+from repro.frontend.ast import Unary
+from repro.kernels.programs import (
+    ALL_PROGRAMS,
+    conv1d_program,
+    dotprod_program,
+    fir_program,
+    histogram_program,
+    mvt_program,
+    relu_program,
+)
+from repro.utils.rng import make_rng
+
+
+def random_memory(kernel: Kernel, seed: int = 0):
+    rng = make_rng(seed)
+    return {
+        name: rng.normal(size=size).tolist()
+        for name, size in kernel.arrays.items()
+    }
+
+
+class TestAST:
+    def test_bad_operator_rejected(self):
+        with pytest.raises(FrontendError):
+            Bin("**", Const(1), Const(2))
+        with pytest.raises(FrontendError):
+            Cmp("<>", Const(1), Const(2))
+        with pytest.raises(FrontendError):
+            Unary("exp", Const(1))
+        with pytest.raises(FrontendError):
+            Accumulate(Var("x"), "**", Const(1))
+
+    def test_trip_count(self):
+        loop = For("i", 2, 10, [])
+        assert loop.trip_count == 8
+        assert For("i", 5, 5, []).trip_count == 0
+
+    def test_footprint(self):
+        k = fir_program(n=64, taps=8)
+        assert k.footprint_bytes() == (72 + 8 + 64) * 4
+
+    def test_innermost_loop(self):
+        k = fir_program()
+        assert k.innermost_loop().var == "j"
+
+    def test_sibling_loops_rejected(self):
+        k = Kernel(
+            name="bad", arrays={"a": 4},
+            body=For("i", 0, 2, [
+                For("j", 0, 2, []),
+                For("k", 0, 2, []),
+            ]),
+        )
+        with pytest.raises(FrontendError):
+            k.innermost_loop()
+
+
+class TestLoweringStructure:
+    def test_flattened_fir_has_odometer(self):
+        lk = lower_kernel(fir_program(n=8, taps=4), flatten=True)
+        phis = [n for n in lk.dfg.nodes() if n.opcode is Opcode.PHI]
+        names = {p.name for p in phis}
+        assert {"i", "j", "acc"} <= names
+        assert lk.trip_count == 32
+        assert lk.loop_vars == ["i", "j"]
+
+    def test_flattened_recmii_from_odometer(self):
+        lk = lower_kernel(fir_program(n=8, taps=4), flatten=True)
+        assert rec_mii(lk.dfg) >= 3
+
+    def test_innermost_mode_externals(self):
+        lk = lower_kernel(fir_program(n=8, taps=4), flatten=False)
+        assert "i" in lk.externals
+        assert "acc" in lk.externals
+        assert lk.trip_count == 4
+
+    def test_if_lowers_to_select_or_predicated_store(self):
+        lk = lower_kernel(relu_program(n=8), flatten=True)
+        opcodes = {n.opcode for n in lk.dfg.nodes()}
+        assert Opcode.CMP in opcodes
+        stores = [n for n in lk.dfg.nodes() if n.opcode is Opcode.STORE]
+        assert stores
+        # Predicated stores carry a third input (the predicate).
+        assert any(len(lk.dfg.in_edges(s.id)) == 3 for s in stores)
+
+    def test_undeclared_array_rejected(self):
+        k = Kernel(name="bad", arrays={},
+                   body=For("i", 0, 4, [
+                       Assign(Var("x"), Ref("ghost", Var("i"))),
+                   ]))
+        with pytest.raises(FrontendError):
+            lower_kernel(k)
+
+    def test_load_cse(self):
+        # h[j] read twice in one body lowers to a single LOAD.
+        k = Kernel(name="cse", arrays={"h": 8, "y": 8},
+                   body=For("j", 0, 8, [
+                       Assign(Ref("y", Var("j")),
+                              Bin("*", Ref("h", Var("j")),
+                                  Ref("h", Var("j")))),
+                   ]))
+        lk = lower_kernel(k, flatten=True)
+        loads = [n for n in lk.dfg.nodes() if n.opcode is Opcode.LOAD]
+        assert len(loads) == 1
+
+
+class TestSemanticEquivalence:
+    """The lowered DFG must compute exactly what the AST computes."""
+
+    @staticmethod
+    def _fix_memory(name, kernel, mem):
+        """Give integer-valued arrays sane contents where the kernel
+        indexes through them."""
+        if name == "histogram":
+            mem["data"] = [float(abs(int(v * 10))) for v in mem["data"]]
+            mem["hist"] = [0.0] * len(mem["hist"])
+        if name == "spmv":
+            rows = len(mem["x"])
+            mem["col"] = [
+                float(abs(int(v * 100)) % rows) for v in mem["col"]
+            ]
+        return mem
+
+    @pytest.mark.parametrize("name", sorted(ALL_PROGRAMS))
+    def test_flattened_matches_ast(self, name):
+        kernel = ALL_PROGRAMS[name]()
+        mem = random_memory(kernel, seed=abs(hash(name)) % 1000)
+        mem = self._fix_memory(name, kernel, mem)
+        expected = run_kernel_ast(kernel, mem)
+        lowered = lower_kernel(kernel, flatten=True)
+        actual = run_lowered_dfg(lowered, mem)
+        for array in kernel.arrays:
+            assert actual.memory[array] == pytest.approx(expected[array]), \
+                f"array {array} differs for {name}"
+
+    def test_innermost_matches_ast_fir(self):
+        kernel = fir_program(n=16, taps=4)
+        mem = random_memory(kernel, seed=5)
+        expected = run_kernel_ast(kernel, mem)
+        lowered = lower_kernel(kernel, flatten=False)
+        mem2 = {k: list(v) for k, v in mem.items()}
+        for i in range(16):
+            run = run_lowered_dfg(lowered, mem2,
+                                  externals={"i": i, "acc": 0.0})
+            mem2["y"][i] = run.scalars["acc"]
+        assert mem2["y"] == pytest.approx(expected["y"])
+
+    def test_missing_external_raises(self):
+        lowered = lower_kernel(fir_program(n=8, taps=2), flatten=False)
+        mem = random_memory(fir_program(n=8, taps=2))
+        with pytest.raises(FrontendError):
+            run_lowered_dfg(lowered, mem, externals={})
+
+    def test_missing_array_raises(self):
+        kernel = dotprod_program(n=8)
+        with pytest.raises(FrontendError):
+            run_kernel_ast(kernel, {"a": [0.0] * 8})
+
+    def test_short_array_raises(self):
+        kernel = dotprod_program(n=8)
+        with pytest.raises(FrontendError):
+            run_kernel_ast(kernel, {"a": [0.0] * 4, "b": [0.0] * 8,
+                                    "out": [0.0]})
+
+    def test_loop_invariant_scalar_is_external(self):
+        from repro.kernels.programs import saxpy_program
+        kernel = saxpy_program(n=8)
+        lowered = lower_kernel(kernel, flatten=True)
+        assert "alpha" in lowered.externals
+        mem = random_memory(kernel, seed=3)
+        run = run_lowered_dfg(lowered, mem, externals={"alpha": 2.5})
+        expected = [2.5 * x + y for x, y in zip(mem["x"], mem["y"])]
+        assert run.memory["y"] == pytest.approx(expected)
+
+    def test_indirect_load_chain(self):
+        from repro.kernels.programs import spmv_program
+        kernel = spmv_program(rows=4, nnz_per_row=2)
+        lowered = lower_kernel(kernel, flatten=True)
+        loads = [
+            n.id for n in lowered.dfg.nodes()
+            if n.opcode is Opcode.LOAD
+        ]
+        # x[col[idx]]: at least one load's index input is another load.
+        chained = any(
+            lowered.dfg.node(src).opcode is Opcode.LOAD
+            for ld in loads
+            for src in lowered.dfg.predecessors(ld)
+        )
+        assert chained

@@ -1,0 +1,157 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test exercises a full pipeline: frontend program -> lowering ->
+mapping -> bitstream / simulation / power, or kernel suite -> all three
+evaluated designs -> the paper's orderings.
+"""
+
+import pytest
+
+from repro import (
+    CGRA,
+    assign_per_tile_dvfs,
+    average_dvfs_fraction,
+    load_kernel,
+    map_baseline,
+    map_dvfs_aware,
+    mapping_power,
+    simulate_execution,
+    utilization_stats,
+    validate_mapping,
+)
+from repro.frontend import lower_kernel, run_kernel_ast, run_lowered_dfg
+from repro.kernels.programs import conv1d_program
+from repro.mapper.bitstream import generate_bitstream
+from repro.mapper.timing import compute_timing
+from repro.utils.rng import make_rng
+
+
+class TestFrontendToFabric:
+    """A real program all the way from source semantics to config words."""
+
+    @pytest.fixture(scope="class")
+    def flow(self):
+        kernel = conv1d_program(n=12, k=3)
+        rng = make_rng(9)
+        memory = {
+            name: rng.normal(size=size).tolist()
+            for name, size in kernel.arrays.items()
+        }
+        lowered = lower_kernel(kernel, flatten=True)
+        cgra = CGRA.build(6, 6)
+        mapping = map_dvfs_aware(lowered.dfg, cgra)
+        return kernel, memory, lowered, mapping
+
+    def test_lowering_is_semantically_exact(self, flow):
+        kernel, memory, lowered, _ = flow
+        expected = run_kernel_ast(kernel, memory)
+        actual = run_lowered_dfg(lowered, memory)
+        assert actual.memory["y"] == pytest.approx(expected["y"])
+
+    def test_mapping_validates(self, flow):
+        *_, mapping = flow
+        validate_mapping(mapping)
+
+    def test_simulation_runs_whole_loop(self, flow):
+        _, _, lowered, mapping = flow
+        stats = simulate_execution(mapping, lowered.trip_count)
+        assert stats.total_cycles >= lowered.trip_count * mapping.ii - \
+            mapping.ii
+
+    def test_bitstream_emits(self, flow):
+        *_, mapping = flow
+        bitstream = generate_bitstream(mapping)
+        assert bitstream.words_used() > 0
+        assert bitstream.ii == mapping.ii
+
+
+class TestThreeDesignsOrdering:
+    """The paper's section-V orderings on a full Table I kernel."""
+
+    @pytest.fixture(scope="class")
+    def designs(self):
+        cgra = CGRA.build(6, 6)
+        dfg = load_kernel("conv", 1)
+        baseline = map_baseline(dfg, cgra)
+        per_tile = assign_per_tile_dvfs(baseline)
+        iced = map_dvfs_aware(dfg, cgra)
+        return baseline, per_tile, iced
+
+    def test_all_validate(self, designs):
+        for mapping in designs:
+            validate_mapping(mapping)
+
+    def test_performance_preserved(self, designs):
+        baseline, per_tile, iced = designs
+        assert per_tile.ii == baseline.ii
+        assert iced.ii <= baseline.ii + 1
+
+    def test_dvfs_levels_ordering(self, designs):
+        baseline, per_tile, iced = designs
+        assert average_dvfs_fraction(per_tile) < 1.0
+        assert average_dvfs_fraction(iced) < 1.0
+        assert average_dvfs_fraction(baseline) == 1.0
+
+    def test_utilization_ordering(self, designs):
+        baseline, _per_tile, iced = designs
+        base = utilization_stats(
+            baseline, include_gated=True
+        )
+        aware = utilization_stats(iced)
+        assert aware.average > base.average
+
+    def test_power_ordering(self, designs):
+        baseline, per_tile, iced = designs
+        p_base = mapping_power(baseline).total_mw
+        p_iced = mapping_power(iced).total_mw
+        p_pt = mapping_power(per_tile).total_mw
+        assert p_iced < p_base
+        assert p_iced < p_pt
+
+    def test_energy_efficiency_factor(self, designs):
+        baseline, _pt, iced = designs
+        ratio = (mapping_power(baseline).total_mw
+                 / mapping_power(iced).total_mw)
+        assert 1.05 < ratio < 3.0  # the paper's 1.32x neighbourhood
+
+
+class TestCrossFabricPortability:
+    """One kernel across fabric and island variations."""
+
+    @pytest.mark.parametrize("size", [4, 5, 6])
+    def test_sizes(self, size):
+        mapping = map_dvfs_aware(load_kernel("relu", 1),
+                                 CGRA.build(size, size))
+        validate_mapping(mapping)
+
+    @pytest.mark.parametrize("shape", [(1, 1), (2, 2), (2, 3), (6, 6)])
+    def test_island_shapes(self, shape):
+        cgra = CGRA.build(6, 6, island_shape=shape)
+        mapping = map_dvfs_aware(load_kernel("relu", 1), cgra)
+        validate_mapping(mapping)
+
+    def test_unroll_2_full_flow(self):
+        cgra = CGRA.build(6, 6)
+        mapping = map_dvfs_aware(load_kernel("spmv", 2), cgra)
+        report = validate_mapping(mapping)
+        stats = simulate_execution(mapping, 64, report)
+        assert stats.total_cycles > 0
+        generate_bitstream(mapping)
+
+
+class TestReportsAreConsistent:
+    """Numbers reported by different paths must agree."""
+
+    def test_simulator_matches_timing_busy(self, baseline_fir):
+        report = compute_timing(baseline_fir)
+        stats = simulate_execution(baseline_fir, 64, report)
+        # In steady state the per-period busy slots of the simulator's
+        # explicit replay equal the static reconstruction (the simulator
+        # asserts this internally; verify the hook is exercised).
+        assert stats.iterations == 64
+
+    def test_power_uses_report_activity(self, baseline_fir):
+        report = compute_timing(baseline_fir)
+        a = mapping_power(baseline_fir, report=report).total_mw
+        b = mapping_power(baseline_fir).total_mw
+        assert a == pytest.approx(b)

@@ -1,0 +1,143 @@
+"""Tests for the Table I kernel suite and the DFG synthesizer."""
+
+import pytest
+
+from repro.dfg import dfg_stats, rec_mii
+from repro.dfg.analysis import recurrence_cycles
+from repro.dfg.ops import Opcode
+from repro.errors import DFGError
+from repro.kernels import (
+    GCN_KERNELS,
+    LU_KERNELS,
+    STANDALONE_KERNELS,
+    TABLE1_SPECS,
+    fig1_kernel,
+    kernel_names,
+    kernel_spec,
+    load_kernel,
+    synthesize_dfg,
+)
+
+
+class TestTable1Specs:
+    def test_all_names_present(self):
+        assert len(TABLE1_SPECS) == 21
+        assert set(STANDALONE_KERNELS) <= set(TABLE1_SPECS)
+        assert set(GCN_KERNELS) <= set(TABLE1_SPECS)
+        assert set(LU_KERNELS) <= set(TABLE1_SPECS)
+
+    def test_spec_lookup(self):
+        spec = kernel_spec("spmv")
+        assert spec.u1 == (19, 24, 4)
+        assert spec.u2 == (37, 50, 7)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(DFGError):
+            kernel_spec("bogus")
+
+    def test_stats_unpublished_unroll(self):
+        with pytest.raises(DFGError):
+            kernel_spec("fir").stats(3)
+
+
+class TestSuiteStatistics:
+    @pytest.mark.parametrize("name", sorted(TABLE1_SPECS))
+    @pytest.mark.parametrize("unroll", [1, 2])
+    def test_exact_published_stats(self, name, unroll):
+        dfg = load_kernel(name, unroll)
+        stats = dfg_stats(dfg)
+        expected = TABLE1_SPECS[name].stats(unroll)
+        assert (stats.nodes, stats.edges, stats.rec_mii) == expected
+
+    def test_deterministic_across_calls(self):
+        a, b = load_kernel("gemm", 2), load_kernel("gemm", 2)
+        assert [(e.src, e.dst, e.dist) for e in a.edges()] == \
+            [(e.src, e.dst, e.dist) for e in b.edges()]
+        assert [n.opcode for n in a.nodes()] == [n.opcode for n in b.nodes()]
+
+    def test_unroll_4_uses_transform(self):
+        u2 = load_kernel("fir", 2)
+        u4 = load_kernel("fir", 4)
+        assert u4.num_nodes == 2 * u2.num_nodes
+
+    def test_odd_high_unroll_rejected(self):
+        with pytest.raises(DFGError):
+            load_kernel("fir", 3)
+
+    def test_bad_unroll(self):
+        with pytest.raises(DFGError):
+            load_kernel("fir", 0)
+
+    def test_kernel_names_sorted(self):
+        names = kernel_names()
+        assert names == sorted(names)
+        assert len(names) == 21
+
+    def test_every_kernel_has_loads_and_stores(self):
+        for name in STANDALONE_KERNELS:
+            dfg = load_kernel(name, 1)
+            ops = [n.opcode for n in dfg.nodes()]
+            assert Opcode.LOAD in ops
+            assert Opcode.STORE in ops
+
+    def test_every_kernel_validates(self):
+        for name in kernel_names():
+            load_kernel(name, 1).validate()
+
+
+class TestSynthesizer:
+    def test_requested_statistics(self):
+        dfg = synthesize_dfg("custom", nodes=25, edges=36, rec_mii=5,
+                             domain="hpc", seed=3)
+        stats = dfg_stats(dfg)
+        assert (stats.nodes, stats.edges, stats.rec_mii) == (25, 36, 5)
+
+    def test_secondary_cycle_present(self):
+        dfg = synthesize_dfg("two_cycles", nodes=20, edges=28, rec_mii=6,
+                             seed=1)
+        lengths = sorted(c.length for c in recurrence_cycles(dfg))
+        assert lengths[-1] == 6
+        assert len(lengths) >= 2
+        assert lengths[0] <= 3  # at most half the critical length
+
+    def test_seed_changes_wiring(self):
+        a = synthesize_dfg("k", 20, 28, 4, seed=1)
+        b = synthesize_dfg("k", 20, 28, 4, seed=2)
+        assert [(e.src, e.dst) for e in a.edges()] != \
+            [(e.src, e.dst) for e in b.edges()]
+
+    def test_unknown_domain(self):
+        with pytest.raises(DFGError):
+            synthesize_dfg("k", 20, 28, 4, domain="quantum")
+
+    def test_too_few_nodes(self):
+        with pytest.raises(DFGError):
+            synthesize_dfg("k", 4, 8, 4)
+
+    def test_edge_budget_too_small(self):
+        with pytest.raises(DFGError):
+            synthesize_dfg("k", 20, 10, 4)
+
+    def test_no_dangling_values(self):
+        dfg = synthesize_dfg("k", 24, 34, 4, seed=5)
+        for node in dfg.nodes():
+            if node.opcode is not Opcode.STORE:
+                assert dfg.out_edges(node.id), f"{node} feeds nothing"
+
+
+class TestFig1Kernel:
+    def test_published_shape(self):
+        dfg = fig1_kernel()
+        stats = dfg_stats(dfg)
+        assert (stats.nodes, stats.rec_mii) == (11, 4)
+
+    def test_cycle_membership(self):
+        dfg = fig1_kernel()
+        cycles = recurrence_cycles(dfg)
+        by_len = {c.length: set(c.nodes) for c in cycles}
+        names = {n.id: n.label for n in dfg.nodes()}
+        assert {names[n] for n in by_len[4]} == {"n1", "n4", "n7", "n9"}
+        assert {names[n] for n in by_len[2]} == {"n10", "n11"}
+
+    def test_has_memory_op(self):
+        assert fig1_kernel().memory_nodes()

@@ -1,0 +1,80 @@
+"""Tests for Algorithm 1 (LabelDVFSLevel)."""
+
+from repro.arch import CGRA, NORMAL, RELAX, REST
+from repro.dfg import DFGBuilder, Opcode
+from repro.mapper.labeling import label_dvfs_levels
+
+
+class TestLabeling:
+    def test_critical_cycle_labeled_normal(self, fig1, cgra44):
+        labels = label_dvfs_levels(fig1, cgra44, ii=4)
+        names = {fig1.node(n).label: labels[n] for n in fig1.node_ids()}
+        for node in ("n1", "n4", "n7", "n9"):
+            assert names[node] is NORMAL
+
+    def test_short_cycle_labeled_relax(self, fig1, cgra44):
+        labels = label_dvfs_levels(fig1, cgra44, ii=4)
+        names = {fig1.node(n).label: labels[n] for n in fig1.node_ids()}
+        # The 2-node cycle is at most half the 4-node one.
+        assert names["n10"] is RELAX
+        assert names["n11"] is RELAX
+
+    def test_slack_nodes_labeled_rest_with_capacity(self, fig1, cgra44):
+        labels = label_dvfs_levels(fig1, cgra44, ii=4)
+        names = {fig1.node(n).label: labels[n] for n in fig1.node_ids()}
+        grey = [names[n] for n in ("n2", "n3", "n5", "n6", "n8")]
+        assert all(level is REST for level in grey)
+
+    def test_every_node_labeled(self, fig1, cgra44):
+        labels = label_dvfs_levels(fig1, cgra44, ii=4)
+        assert set(labels) == set(fig1.node_ids())
+
+    def test_capacity_exhaustion_falls_back_to_normal(self):
+        # A big acyclic graph on a tiny fabric at a tiny II: the slot
+        # budget cannot hold everything at rest (4 slots each), so
+        # later nodes must be labeled relax and finally normal.
+        b = DFGBuilder("big")
+        prev = b.op(Opcode.LOAD)
+        for _ in range(30):
+            prev = b.op(Opcode.ADD, prev)
+        dfg = b.build()
+        tiny = CGRA.build(2, 2)
+        labels = label_dvfs_levels(dfg, tiny, ii=2)
+        kinds = {level.name for level in labels.values()}
+        assert "normal" in kinds  # fallback engaged
+        budget = tiny.num_tiles * 2 * 0.9
+        # The slow (rest/relax) labels must respect the slot budget;
+        # normal labels are the unconditional fallback beyond it.
+        slow_slots = sum(
+            level.slowdown for level in labels.values()
+            if level.slowdown > 1
+        )
+        assert slow_slots <= budget
+
+    def test_cycle_exactly_half_is_relax(self, cgra44):
+        b = DFGBuilder("half")
+        b.recurrence([Opcode.PHI] + [Opcode.ADD] * 5)  # length 6
+        short = b.recurrence([Opcode.PHI, Opcode.ADD, Opcode.ADD])  # 3 <= 3
+        dfg = b.build()
+        labels = label_dvfs_levels(dfg, cgra44, ii=6)
+        assert all(labels[n] is RELAX for n in short)
+
+    def test_two_level_config(self):
+        from repro.arch.dvfs import scaled_config
+        cgra = CGRA.build(4, 4, dvfs=scaled_config(2))
+        b = DFGBuilder("t")
+        nodes = b.recurrence([Opcode.PHI] + [Opcode.ADD] * 3)
+        ld = b.op(Opcode.LOAD)
+        b.edge(ld, nodes[0])
+        dfg = b.build()
+        labels = label_dvfs_levels(dfg, cgra, ii=4)
+        assert all(lv in cgra.dvfs.levels for lv in labels.values())
+
+    def test_single_level_config_all_normal(self):
+        from repro.arch.dvfs import scaled_config
+        cgra = CGRA.build(4, 4, dvfs=scaled_config(1))
+        b = DFGBuilder("t")
+        b.recurrence([Opcode.PHI, Opcode.ADD])
+        dfg = b.build()
+        labels = label_dvfs_levels(dfg, cgra, ii=4)
+        assert all(lv is cgra.dvfs.normal for lv in labels.values())

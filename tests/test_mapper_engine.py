@@ -1,0 +1,159 @@
+"""Tests for the placement engine: baseline and DVFS-aware mapping."""
+
+import pytest
+
+from repro.arch import CGRA
+from repro.dfg import DFGBuilder, Opcode, rec_mii
+from repro.errors import MappingError
+from repro.kernels import load_kernel
+from repro.mapper import (
+    EngineConfig,
+    map_baseline,
+    map_dvfs_aware,
+    validate_mapping,
+)
+from repro.mapper.engine import map_dfg
+
+
+class TestBaseline:
+    def test_fig1_maps_and_validates(self, baseline_fig1):
+        report = validate_mapping(baseline_fig1)
+        assert baseline_fig1.ii >= 4  # RecMII of the fig1 kernel
+        assert report.ii == baseline_fig1.ii
+
+    def test_all_nodes_placed(self, baseline_fig1, fig1):
+        assert set(baseline_fig1.placements) == set(fig1.node_ids())
+
+    def test_loads_on_memory_tiles(self, baseline_fig1, fig1, cgra44):
+        for node in fig1.memory_nodes():
+            tile = baseline_fig1.placements[node].tile
+            assert cgra44.tile(tile).has_memory_access
+
+    def test_all_levels_normal(self, baseline_fig1, cgra44):
+        assert all(
+            level is cgra44.dvfs.normal
+            for level in baseline_fig1.tile_levels.values()
+        )
+
+    def test_deterministic(self, fig1, cgra44):
+        a = map_baseline(fig1, cgra44)
+        b = map_baseline(fig1, cgra44)
+        assert a.to_dict() == b.to_dict()
+
+    def test_too_small_fabric_rejected(self, fir_dfg):
+        tiny = CGRA.build(1, 1, island_shape=(1, 1))
+        with pytest.raises(MappingError):
+            map_baseline(fir_dfg, tiny,
+                         EngineConfig(max_ii=8))
+
+    def test_memoryless_tile_restriction(self, fig1, cgra44):
+        # Restricting to non-memory tiles must fail fast: the kernel
+        # has a LOAD.
+        with pytest.raises(MappingError, match="SPM"):
+            map_baseline(fig1, cgra44,
+                         EngineConfig(allowed_tiles=frozenset({5, 6})))
+
+    def test_allowed_tiles_respected(self, fig1, cgra44):
+        allowed = frozenset({0, 1, 4, 5, 8, 9, 12, 13})
+        mapping = map_baseline(fig1, cgra44,
+                               EngineConfig(allowed_tiles=allowed))
+        used = {p.tile for p in mapping.placements.values()}
+        assert used <= allowed
+        for route in mapping.routes.values():
+            assert set(route.path) <= allowed
+
+    def test_empty_allowed_tiles_rejected(self, fig1, cgra44):
+        with pytest.raises(MappingError):
+            map_baseline(fig1, cgra44,
+                         EngineConfig(allowed_tiles=frozenset()))
+
+    def test_const_nodes_are_immediates(self, cgra44):
+        b = DFGBuilder("imm")
+        c = b.op(Opcode.CONST, name="c")
+        x = b.op(Opcode.LOAD)
+        y = b.op(Opcode.ADD, c, x)
+        b.op(Opcode.STORE, y)
+        dfg = b.build()
+        mapping = map_baseline(dfg, cgra44)
+        assert c not in mapping.placements
+        validate_mapping(mapping)
+
+
+class TestDVFSAware:
+    def test_fig1_iced_validates(self, iced_fig1):
+        validate_mapping(iced_fig1)
+        assert iced_fig1.strategy == "iced"
+
+    def test_unused_islands_gated(self, iced_fig1, cgra44):
+        used_islands = {
+            cgra44.island_of(p.tile).id
+            for p in iced_fig1.placements.values()
+        }
+        for island in cgra44.islands:
+            level = iced_fig1.island_levels[island.id]
+            if island.id not in used_islands:
+                # Never gated if a route crosses it, though.
+                crossed = any(
+                    t in iced_fig1.tiles_used()
+                    for t in island.tile_ids
+                )
+                if not crossed:
+                    assert level.is_gated
+
+    def test_island_level_consistency(self, iced_fig1, cgra44):
+        for island in cgra44.islands:
+            level = iced_fig1.island_levels[island.id]
+            for tile in island.tile_ids:
+                assert iced_fig1.tile_levels[tile] is level
+
+    def test_critical_nodes_on_fast_islands(self, iced_fig1, fig1, cgra44):
+        from repro.dfg.analysis import critical_cycle_nodes
+        for node in critical_cycle_nodes(fig1):
+            tile = iced_fig1.placements[node].tile
+            level = iced_fig1.tile_levels[tile]
+            # Critical nodes must not run slower than the II allows:
+            # their label is normal, so their island is normal.
+            assert level is cgra44.dvfs.normal
+
+    def test_no_performance_loss_vs_baseline(self, fig1, cgra44):
+        base = map_baseline(fig1, cgra44)
+        iced = map_dvfs_aware(fig1, cgra44)
+        assert iced.ii <= base.ii + 1
+
+    def test_deterministic(self, fig1, cgra44):
+        a = map_dvfs_aware(fig1, cgra44)
+        b = map_dvfs_aware(fig1, cgra44)
+        assert a.to_dict() == b.to_dict()
+
+    def test_per_tile_islands(self, fig1, cgra44):
+        per_tile_fabric = cgra44.with_islands((1, 1))
+        mapping = map_dvfs_aware(fig1, per_tile_fabric)
+        validate_mapping(mapping)
+        assert len(per_tile_fabric.islands) == 16
+
+    def test_streaming_level_restriction(self, fig1, cgra44):
+        mapping = map_dvfs_aware(
+            fig1, cgra44,
+            EngineConfig(dvfs_aware=True,
+                         allowed_level_names=("normal", "relax")),
+        )
+        for level in mapping.tile_levels.values():
+            assert level.name in ("normal", "relax", "power_gated")
+
+    def test_kernel_suite_member(self, cgra66):
+        mapping = map_dvfs_aware(load_kernel("histogram", 1), cgra66)
+        validate_mapping(mapping)
+
+
+class TestMapDfgFlagHandling:
+    def test_map_dfg_baseline_by_default(self, fig1, cgra44):
+        mapping = map_dfg(fig1, cgra44, EngineConfig())
+        assert mapping.strategy == "baseline"
+
+    def test_wrapper_flag_coercion(self, fig1, cgra44):
+        # map_baseline forces dvfs_aware off even if the config says on.
+        mapping = map_baseline(fig1, cgra44,
+                               EngineConfig(dvfs_aware=True))
+        assert mapping.strategy == "baseline"
+        mapping = map_dvfs_aware(fig1, cgra44, EngineConfig())
+        assert mapping.strategy == "iced"

@@ -1,0 +1,140 @@
+"""Tests for the modulo resource pool and MRRG claim vocabulary."""
+
+import pytest
+
+from repro.arch import CGRA
+from repro.errors import MappingError
+from repro.mrrg import MRRG, ModuloResourcePool, fu_key, link_key, reg_key, xbar_key
+from repro.mrrg.mrrg import hop_claims, op_claims, wait_claims
+
+
+@pytest.fixture
+def pool(cgra44):
+    return ModuloResourcePool(cgra44, ii=4)
+
+
+class TestPool:
+    def test_capacities(self, pool, cgra44):
+        assert pool.capacity(fu_key(0)) == 1
+        assert pool.capacity(link_key(0, 1)) == 1
+        assert pool.capacity(xbar_key(0)) == 4
+        assert pool.capacity(reg_key(0)) == cgra44.tile(0).num_registers
+
+    def test_unknown_kind(self, pool):
+        with pytest.raises(MappingError):
+            pool.capacity(("bogus", 0))
+
+    def test_claim_and_used(self, pool):
+        pool.claim(fu_key(0), 1, 1)
+        assert pool.used(fu_key(0), 1) == 1
+        assert pool.used(fu_key(0), 5) == 1  # modulo wrap
+        assert pool.used(fu_key(0), 0) == 0
+
+    def test_exclusive_conflict(self, pool):
+        pool.claim(fu_key(0), 1, 1)
+        assert not pool.is_free(fu_key(0), 1, 1)
+        with pytest.raises(MappingError):
+            pool.claim(fu_key(0), 5, 1)  # same slot mod 4
+
+    def test_interval_wraps(self, pool):
+        pool.claim(fu_key(0), 3, 2)  # slots 3 and 0
+        assert pool.used(fu_key(0), 0) == 1
+        assert pool.used(fu_key(0), 3) == 1
+        assert pool.is_free(fu_key(0), 1, 2)
+
+    def test_capacity_resource_stacks(self, pool):
+        for _ in range(4):
+            pool.claim(xbar_key(0), 0, 1)
+        assert not pool.is_free(xbar_key(0), 0, 1)
+
+    def test_long_claim_counts_multiplicity(self, pool):
+        # Holding a register for 2*II cycles occupies 2 registers per slot.
+        pool.claim(reg_key(0), 0, 8)
+        assert pool.used(reg_key(0), 0) == 2
+
+    def test_is_free_accounts_multiplicity(self, pool):
+        cap = pool.capacity(reg_key(0))
+        assert pool.is_free(reg_key(0), 0, 4 * cap)
+        assert not pool.is_free(reg_key(0), 0, 4 * cap + 1)
+
+    def test_rollback(self, pool):
+        token = pool.checkpoint()
+        pool.claim(fu_key(0), 0, 2)
+        pool.claim(link_key(0, 1), 1, 1)
+        pool.rollback(token)
+        assert pool.used(fu_key(0), 0) == 0
+        assert pool.is_free(link_key(0, 1), 1, 1)
+
+    def test_nested_rollback(self, pool):
+        pool.claim(fu_key(0), 0, 1)
+        outer = pool.checkpoint()
+        pool.claim(fu_key(1), 0, 1)
+        inner = pool.checkpoint()
+        pool.claim(fu_key(2), 0, 1)
+        pool.rollback(inner)
+        assert pool.used(fu_key(2), 0) == 0
+        assert pool.used(fu_key(1), 0) == 1
+        pool.rollback(outer)
+        assert pool.used(fu_key(1), 0) == 0
+        assert pool.used(fu_key(0), 0) == 1
+
+    def test_zero_length_claim_is_noop(self, pool):
+        pool.claim(fu_key(0), 0, 0)
+        assert pool.used(fu_key(0), 0) == 0
+
+    def test_sanity_cap(self, pool):
+        with pytest.raises(MappingError):
+            pool.claim(fu_key(0), 0, 10**6)
+
+    def test_busy_slot_stats(self, pool):
+        pool.claim(fu_key(0), 0, 2)
+        pool.claim(xbar_key(0), 1, 2)
+        assert pool.busy_slots(fu_key(0)) == 2
+        assert pool.tile_busy_slots(0) == 3  # slots 0,1,2
+
+    def test_bad_ii(self, cgra44):
+        with pytest.raises(MappingError):
+            ModuloResourcePool(cgra44, ii=0)
+
+
+class TestClaimBuilders:
+    def test_op_claims(self):
+        assert op_claims(3, 5, 2) == [(fu_key(3), 5, 2)]
+
+    def test_hop_claims(self):
+        claims = hop_claims(0, 1, 4, 2)
+        assert (link_key(0, 1), 4, 2) in claims
+        assert (xbar_key(1), 4, 2) in claims
+
+    def test_wait_claims(self):
+        assert wait_claims(2, 5, 9) == [(reg_key(2), 5, 4)]
+        assert wait_claims(2, 5, 5) == []
+        assert wait_claims(2, 5, 3) == []
+
+
+class TestMRRG:
+    def test_atomic_claim_all(self, cgra44):
+        mrrg = MRRG(cgra44, 4)
+        claims = [(fu_key(0), 0, 1), (fu_key(0), 0, 1)]  # conflicts
+        with pytest.raises(MappingError):
+            mrrg.claim_all(claims)
+        # Atomicity: the first claim must have been rolled back.
+        assert mrrg.pool.used(fu_key(0), 0) == 0
+
+    def test_is_free_handles_self_overlap(self, cgra44):
+        mrrg = MRRG(cgra44, 4)
+        cap = mrrg.pool.capacity(reg_key(0))
+        overlapping = [(reg_key(0), 0, 4)] * cap
+        assert mrrg.is_free(overlapping)
+        assert not mrrg.is_free(overlapping + [(reg_key(0), 0, 1)])
+        # And it must not leave anything claimed behind.
+        assert mrrg.pool.used(reg_key(0), 0) == 0
+
+    def test_to_networkx_shape(self, cgra44):
+        mrrg = MRRG(cgra44, 3)
+        g = mrrg.to_networkx()
+        assert g.number_of_nodes() == 16 * 3
+        # Each node has a self-register edge plus one per neighbour.
+        out_deg = dict(g.out_degree())
+        assert out_deg[("tile", 0, 0)] == 1 + 2
+        assert out_deg[("tile", 5, 1)] == 1 + 4

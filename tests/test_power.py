@@ -1,0 +1,155 @@
+"""Tests for the power, energy, SRAM and area models."""
+
+import pytest
+
+from repro.arch import CGRA, NORMAL, POWER_GATED, RELAX, REST
+from repro.errors import ArchitectureError
+from repro.power import SRAMModel, area_report, energy_uj, mapping_power
+from repro.power.model import (
+    DEFAULT_POWER_PARAMS,
+    level_tile_power_mw,
+    tile_power_mw,
+)
+
+
+class TestTilePower:
+    def test_calibration_matches_paper_fabric(self):
+        # 36 tiles + 9 island controllers at nominal ~ 113.95 mW.
+        params = DEFAULT_POWER_PARAMS
+        tiles = 36 * tile_power_mw(params, 0.7, 434.0, activity=1.0)
+        controllers = (
+            9 * params.controller_mw() * params.island_controller_scale
+        )
+        assert tiles + controllers == pytest.approx(113.95, rel=0.03)
+
+    def test_levels_monotone(self):
+        params = DEFAULT_POWER_PARAMS
+        p = [level_tile_power_mw(params, lv)
+             for lv in (NORMAL, RELAX, REST, POWER_GATED)]
+        assert p[0] > p[1] > p[2] > p[3] >= 0.0
+
+    def test_activity_scales_dynamic(self):
+        params = DEFAULT_POWER_PARAMS
+        busy = tile_power_mw(params, 0.7, 434.0, activity=1.0)
+        idle = tile_power_mw(params, 0.7, 434.0, activity=0.0)
+        assert idle < busy
+        # The idle tile still burns the clock floor + leakage.
+        floor = (params.clock_floor_fraction
+                 * tile_power_mw(params, 0.7, 434.0, 1.0, static=False))
+        assert idle == pytest.approx(floor + params.static_at_nominal_mw)
+
+    def test_activity_clamped(self):
+        params = DEFAULT_POWER_PARAMS
+        assert tile_power_mw(params, 0.7, 434.0, activity=2.0) == \
+            tile_power_mw(params, 0.7, 434.0, activity=1.0)
+
+    def test_gated_residual_tiny(self):
+        params = DEFAULT_POWER_PARAMS
+        residual = level_tile_power_mw(params, POWER_GATED)
+        assert residual < 0.05 * level_tile_power_mw(params, NORMAL)
+
+    def test_per_tile_controller_over_30_percent(self):
+        params = DEFAULT_POWER_PARAMS
+        tile = tile_power_mw(params, 0.7, 434.0)
+        assert params.controller_mw() >= 0.30 * tile
+
+
+class TestMappingPower:
+    def test_report_components(self, baseline_fir):
+        report = mapping_power(baseline_fir)
+        assert report.tiles_mw > 0
+        assert report.dvfs_overhead_mw == 0.0  # baseline has no DVFS HW
+        assert report.sram_mw > 0
+        assert report.total_mw == pytest.approx(
+            report.tiles_mw + report.sram_mw
+        )
+
+    def test_per_tile_charges_all_controllers(self, per_tile_fir):
+        report = mapping_power(per_tile_fir)
+        expected = DEFAULT_POWER_PARAMS.controller_mw() * 36
+        assert report.dvfs_overhead_mw == pytest.approx(expected)
+
+    def test_iced_charges_island_controllers(self, iced_fir):
+        report = mapping_power(iced_fir)
+        expected = (
+            DEFAULT_POWER_PARAMS.controller_mw()
+            * DEFAULT_POWER_PARAMS.island_controller_scale * 9
+        )
+        assert report.dvfs_overhead_mw == pytest.approx(expected)
+
+    def test_iced_cheaper_than_baseline(self, baseline_fir, iced_fir):
+        assert mapping_power(iced_fir).total_mw < \
+            mapping_power(baseline_fir).total_mw
+
+    def test_energy_equation(self, baseline_fir):
+        report = mapping_power(baseline_fir)
+        assert energy_uj(report, 1000.0) == pytest.approx(
+            report.total_mw, rel=1e-9
+        )
+
+    def test_to_dict(self, baseline_fir):
+        d = mapping_power(baseline_fir).to_dict()
+        assert d["strategy"] == "baseline"
+        assert d["total_mw"] > 0
+
+
+class TestSRAM:
+    def test_paper_calibration(self):
+        sram = SRAMModel()
+        assert sram.area_mm2() == pytest.approx(0.559, rel=0.01)
+        assert sram.power_mw(434.0, 1.0) == pytest.approx(62.653, rel=0.01)
+
+    def test_leakage_scales_with_banks(self):
+        assert SRAMModel(num_banks=16).leakage_mw() == \
+            2 * SRAMModel(num_banks=8).leakage_mw()
+
+    def test_dynamic_scales_with_activity(self):
+        sram = SRAMModel()
+        assert sram.dynamic_mw(434.0, 0.5) == \
+            pytest.approx(0.5 * sram.dynamic_mw(434.0, 1.0))
+
+    def test_activity_bounds(self):
+        with pytest.raises(ArchitectureError):
+            SRAMModel().dynamic_mw(434.0, 1.5)
+
+    def test_bigger_sram_bigger_area(self):
+        assert SRAMModel(size_bytes=64 * 1024).area_mm2() > \
+            SRAMModel(size_bytes=32 * 1024).area_mm2()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ArchitectureError):
+            SRAMModel(size_bytes=0)
+
+
+class TestArea:
+    def test_fabric_calibration(self, cgra66):
+        report = area_report(cgra66, dvfs_style="island")
+        fabric = report.total_mm2 - report.components_mm2["sram"]
+        assert fabric == pytest.approx(6.63, rel=0.01)
+
+    def test_per_tile_dvfs_costs_more(self, cgra66):
+        island = area_report(cgra66, dvfs_style="island")
+        per_tile = area_report(cgra66, dvfs_style="per_tile")
+        none = area_report(cgra66, dvfs_style="none")
+        assert per_tile.total_mm2 > island.total_mm2 > none.total_mm2
+
+    def test_per_tile_overhead_over_30_percent(self, cgra66):
+        per_tile = area_report(cgra66, dvfs_style="per_tile",
+                               include_sram=False)
+        none = area_report(cgra66, dvfs_style="none", include_sram=False)
+        overhead = per_tile.total_mm2 / none.total_mm2 - 1
+        assert overhead >= 0.30
+
+    def test_rows_sorted_descending(self, cgra66):
+        rows = area_report(cgra66).rows()
+        areas = [r[1] for r in rows]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_unknown_style_rejected(self, cgra66):
+        with pytest.raises(ValueError):
+            area_report(cgra66, dvfs_style="quantum")
+
+    def test_scales_with_fabric(self):
+        small = area_report(CGRA.build(4, 4), include_sram=False)
+        large = area_report(CGRA.build(8, 8), include_sram=False)
+        assert large.total_mm2 > 3 * small.total_mm2

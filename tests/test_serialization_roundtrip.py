@@ -1,0 +1,40 @@
+"""Round-trip tests for mapping serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.kernels import load_kernel
+from repro.mapper import validate_mapping
+from repro.mapper.mapping import Mapping
+
+
+class TestMappingRoundTrip:
+    def test_json_round_trip_validates(self, baseline_fir, cgra66):
+        payload = json.loads(json.dumps(baseline_fir.to_dict()))
+        rebuilt = Mapping.from_dict(payload, baseline_fir.dfg, cgra66)
+        validate_mapping(rebuilt)
+
+    def test_round_trip_is_lossless(self, iced_fir, cgra66):
+        payload = iced_fir.to_dict()
+        rebuilt = Mapping.from_dict(payload, iced_fir.dfg, cgra66)
+        assert rebuilt.to_dict() == payload
+        assert rebuilt.ii == iced_fir.ii
+        assert rebuilt.strategy == "iced"
+        for tile, level in iced_fir.tile_levels.items():
+            assert rebuilt.tile_levels[tile] is level
+
+    def test_kernel_mismatch_rejected(self, baseline_fir, cgra66):
+        other = load_kernel("relu", 1)
+        with pytest.raises(ValidationError, match="kernel"):
+            Mapping.from_dict(baseline_fir.to_dict(), other, cgra66)
+
+    def test_tampered_payload_caught_by_validation(self, baseline_fir,
+                                                   cgra66):
+        payload = baseline_fir.to_dict()
+        first = next(iter(payload["placements"]))
+        payload["placements"][first]["time"] = -5
+        rebuilt = Mapping.from_dict(payload, baseline_fir.dfg, cgra66)
+        with pytest.raises(ValidationError):
+            validate_mapping(rebuilt)

@@ -1,0 +1,117 @@
+"""Tests for the execution simulator and utilization metrics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mapper.timing import compute_timing
+from repro.sim import (
+    average_dvfs_fraction,
+    simulate_execution,
+    tile_utilization,
+    utilization_stats,
+)
+
+
+class TestSimulator:
+    def test_cycle_count_formula(self, baseline_fir, fir_report):
+        stats = simulate_execution(baseline_fir, 100, fir_report)
+        depth = baseline_fir.schedule_depth()
+        assert stats.total_cycles == 99 * baseline_fir.ii + depth
+
+    def test_zero_iterations(self, baseline_fir):
+        stats = simulate_execution(baseline_fir, 0)
+        assert stats.total_cycles == 0
+        assert stats.throughput_iters_per_us == 0.0
+
+    def test_negative_iterations_rejected(self, baseline_fir):
+        with pytest.raises(SimulationError):
+            simulate_execution(baseline_fir, -1)
+
+    def test_steady_state_cross_check_runs(self, baseline_fir, fir_report):
+        # 64 explicit iterations trigger the internal observed-vs-static
+        # consistency check; it must pass silently.
+        simulate_execution(baseline_fir, 64, fir_report)
+
+    def test_extrapolation_matches_explicit_rate(self, baseline_fir,
+                                                 fir_report):
+        small = simulate_execution(baseline_fir, 64, fir_report)
+        big = simulate_execution(baseline_fir, 10_000, fir_report)
+        for tile, per64 in small.tile_busy_cycles.items():
+            per_iter_small = per64 / 64
+            per_iter_big = big.tile_busy_cycles[tile] / 10_000
+            assert per_iter_big == pytest.approx(per_iter_small, rel=0.1)
+
+    def test_execution_time_units(self, baseline_fir):
+        stats = simulate_execution(baseline_fir, 434)
+        # 434 iterations at f=434 MHz: about II microseconds.
+        assert stats.execution_time_us == pytest.approx(
+            baseline_fir.ii, rel=0.2
+        )
+
+    def test_busy_fraction_bounded(self, baseline_fir):
+        stats = simulate_execution(baseline_fir, 200)
+        for tile in baseline_fir.cgra.tiles:
+            assert 0.0 <= stats.busy_fraction(tile.id) <= 1.0
+
+    def test_iced_busy_includes_stretch(self, iced_fir):
+        report = compute_timing(iced_fir)
+        stats = simulate_execution(iced_fir, 128, report)
+        slowed = [
+            t for t, lv in iced_fir.tile_levels.items()
+            if not lv.is_gated and lv.slowdown > 1
+            and report.tile_busy.get(t, 0) > 0
+        ]
+        if not slowed:
+            pytest.skip("no slowed busy tile")
+        assert any(stats.tile_busy_cycles.get(t, 0) > 0 for t in slowed)
+
+
+class TestUtilization:
+    def test_gated_tiles_excluded(self, iced_fir):
+        util = tile_utilization(iced_fir)
+        for tile in iced_fir.gated_tiles():
+            assert tile not in util
+
+    def test_values_bounded(self, baseline_fir, fir_report):
+        util = tile_utilization(baseline_fir, fir_report)
+        assert all(0.0 <= u <= 1.0 for u in util.values())
+
+    def test_baseline_average_includes_idle(self, baseline_fir, fir_report):
+        with_idle = utilization_stats(baseline_fir, fir_report,
+                                      include_gated=True)
+        active_only = utilization_stats(baseline_fir, fir_report,
+                                        include_gated=False)
+        # Baseline has no gated tiles, but counting all 36 tiles still
+        # drags the average below the active-only one.
+        assert with_idle.average <= active_only.average
+
+    def test_iced_beats_baseline(self, baseline_fir, iced_fir, fir_report):
+        base = utilization_stats(baseline_fir, fir_report,
+                                 include_gated=True)
+        iced = utilization_stats(iced_fir)
+        assert iced.average > base.average
+
+    def test_stats_fields(self, iced_fir):
+        stats = utilization_stats(iced_fir)
+        assert stats.kernel == "fir"
+        assert stats.strategy == "iced"
+        assert stats.gated_tiles == len(iced_fir.gated_tiles())
+        assert stats.active_tiles + stats.gated_tiles == 36
+
+    def test_to_dict(self, iced_fir):
+        d = utilization_stats(iced_fir).to_dict()
+        assert {"kernel", "strategy", "ii", "average"} <= set(d)
+
+
+class TestAverageDVFSFraction:
+    def test_baseline_is_full_speed(self, baseline_fir):
+        assert average_dvfs_fraction(baseline_fir) == 1.0
+
+    def test_iced_below_baseline(self, iced_fir):
+        assert average_dvfs_fraction(iced_fir) < 1.0
+
+    def test_per_tile_is_lower_bound_side(self, per_tile_fir, iced_fir):
+        # The per-tile assignment is at least as aggressive as islands
+        # on the same kernel (it gates/fits per tile).
+        assert average_dvfs_fraction(per_tile_fir) <= \
+            average_dvfs_fraction(iced_fir) + 0.15

@@ -1,0 +1,124 @@
+"""Tests for repro.utils: rng, tables, serialization."""
+
+import enum
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, make_rng
+from repro.utils.serialization import to_jsonable
+from repro.utils.tables import TextTable, format_series
+
+
+class TestMakeRng:
+    def test_none_is_deterministic(self):
+        a = make_rng(None).integers(0, 1000, size=5)
+        b = make_rng(None).integers(0, 1000, size=5)
+        assert list(a) == list(b)
+
+    def test_same_seed_same_stream(self):
+        assert list(make_rng(42).integers(0, 10**6, 8)) == \
+            list(make_rng(42).integers(0, 10**6, 8))
+
+    def test_different_seeds_differ(self):
+        assert list(make_rng(1).integers(0, 10**6, 8)) != \
+            list(make_rng(2).integers(0, 10**6, 8))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert make_rng(gen) is gen
+
+    def test_derive_rng_independent(self):
+        base = make_rng(3)
+        child_a = derive_rng(base, 0)
+        base2 = make_rng(3)
+        child_b = derive_rng(base2, 1)
+        assert list(child_a.integers(0, 10**6, 4)) != \
+            list(child_b.integers(0, 10**6, 4))
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["kernel", "II"])
+        t.add_row(["fir", 4])
+        t.add_row(["histogram", 12])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("kernel")
+        assert "fir" in lines[2] and "histogram" in lines[3]
+        assert len(set(len(line.rstrip()) for line in lines[1:2])) == 1
+
+    def test_wrong_arity_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_formatting(self):
+        t = TextTable(["x"])
+        t.add_row([1.23456])
+        assert "1.235" in t.render()
+
+    def test_csv_escaping(self):
+        t = TextTable(["name"])
+        t.add_row(['has,comma and "quote"'])
+        csv = t.to_csv()
+        assert '"has,comma and ""quote"""' in csv
+
+    def test_csv_roundtrip_rows(self):
+        t = TextTable(["a", "b"])
+        t.add_row([1, 2])
+        t.add_row([3, 4])
+        assert t.to_csv().splitlines() == ["a,b", "1,2", "3,4"]
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert "(empty)" in format_series("s", [])
+
+    def test_bars_scale_to_peak(self):
+        out = format_series("s", [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_zero_values(self):
+        out = format_series("s", [0.0, 0.0])
+        assert "0.000" in out
+
+
+class TestToJsonable:
+    def test_scalars(self):
+        assert to_jsonable(5) == 5
+        assert to_jsonable("x") == "x"
+        assert to_jsonable(None) is None
+
+    def test_numpy(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert to_jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_enum(self):
+        class Color(enum.Enum):
+            RED = 1
+        assert to_jsonable(Color.RED) == "RED"
+
+    def test_dataclass(self):
+        @dataclass
+        class Point:
+            x: int
+            y: int
+        assert to_jsonable(Point(1, 2)) == {"x": 1, "y": 2}
+
+    def test_nested_and_dumps(self):
+        value = {"a": [np.float32(1.5), {"b": (1, 2)}]}
+        out = to_jsonable(value)
+        json.dumps(out)
+
+    def test_tuple_keys(self):
+        assert to_jsonable({(1, 2): "x"}) == {"1,2": "x"}
+
+    def test_unserializable_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
