@@ -1,0 +1,105 @@
+"""Compile-time smoke check for CI.
+
+Maps the 10 standalone Table I kernels twice through the unified
+pipeline on a fresh mapping cache and asserts the second (fully cached)
+sweep is at least MIN_SPEEDUP x faster than the cold one. Per-pass
+timings, per-kernel wall times and cache statistics are written to
+``BENCH_compile.json`` so compile-time regressions show up as artifact
+diffs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/compile_smoke.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.arch.cgra import CGRA
+from repro.compile import (
+    Instrumentation,
+    MappingCache,
+    compile_kernel,
+    render_report,
+    summarize,
+)
+from repro.kernels.table1 import STANDALONE_KERNELS
+
+MIN_SPEEDUP = 5.0
+STRATEGY = "iced"
+
+
+def run_sweep(cache: MappingCache, instrument: Instrumentation,
+              kernels: tuple[str, ...], cgra: CGRA) -> dict:
+    """One full sweep; returns wall time and per-kernel detail."""
+    per_kernel = {}
+    start = time.perf_counter()
+    for name in kernels:
+        k_start = time.perf_counter()
+        result = compile_kernel(name, cgra, STRATEGY, cache=cache,
+                                instrument=instrument)
+        per_kernel[name] = {
+            "wall_ms": round((time.perf_counter() - k_start) * 1000, 3),
+            "ii": result.mapping.ii,
+            "cache_hit": result.cache_hit,
+        }
+    return {
+        "wall_s": time.perf_counter() - start,
+        "kernels": per_kernel,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_compile.json")
+    parser.add_argument("--size", type=int, default=6)
+    args = parser.parse_args(argv)
+
+    cgra = CGRA.build(args.size, args.size)
+    cache = MappingCache()
+    instrument = Instrumentation()
+
+    cold = run_sweep(cache, instrument, STANDALONE_KERNELS, cgra)
+    warm = run_sweep(cache, instrument, STANDALONE_KERNELS, cgra)
+    speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+
+    payload = {
+        "strategy": STRATEGY,
+        "fabric": f"{args.size}x{args.size}",
+        "cold_sweep_s": round(cold["wall_s"], 3),
+        "warm_sweep_s": round(warm["wall_s"], 3),
+        "speedup": round(speedup, 1),
+        "min_speedup": MIN_SPEEDUP,
+        "cache": cache.stats_dict(),
+        "passes": {
+            name: {k: round(v, 3) for k, v in row.items()}
+            for name, row in summarize(instrument.events).items()
+        },
+        "cold": cold["kernels"],
+        "warm": warm["kernels"],
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+
+    print(render_report(instrument.events, cache.stats_dict()))
+    print(f"\ncold sweep {cold['wall_s']:.2f}s, warm sweep "
+          f"{warm['wall_s']:.3f}s -> {speedup:.0f}x ({args.out})")
+
+    misses = [n for n, k in warm["kernels"].items() if not k["cache_hit"]]
+    if misses:
+        print(f"FAIL: warm sweep missed the cache on {misses}",
+              file=sys.stderr)
+        return 1
+    if speedup < MIN_SPEEDUP:
+        print(f"FAIL: cached sweep only {speedup:.1f}x faster "
+              f"(need >= {MIN_SPEEDUP}x)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

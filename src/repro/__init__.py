@@ -9,10 +9,10 @@ paper's evaluation.
 
 Quickstart::
 
-    from repro import CGRA, load_kernel, map_dvfs_aware
+    from repro import CGRA, compile_kernel
     cgra = CGRA.build(6, 6, island_shape=(2, 2))
-    mapping = map_dvfs_aware(load_kernel("fir"), cgra)
-    print(mapping.summary())
+    result = compile_kernel("fir", cgra, "iced")
+    print(result.mapping.summary())
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every table and figure.
@@ -24,6 +24,15 @@ from repro.arch import (
     DVFSLevel,
     DEFAULT_DVFS_CONFIG,
     ScratchpadMemory,
+)
+from repro.compile import (
+    CompileResult,
+    Instrumentation,
+    MappingCache,
+    compile_dfg,
+    compile_kernel,
+    get_cache,
+    render_report,
 )
 from repro.dfg import DFG, DFGBuilder, Opcode, dfg_stats, rec_mii, unroll
 from repro.errors import (
@@ -63,6 +72,13 @@ __all__ = [
     "DVFSLevel",
     "DEFAULT_DVFS_CONFIG",
     "ScratchpadMemory",
+    "CompileResult",
+    "Instrumentation",
+    "MappingCache",
+    "compile_dfg",
+    "compile_kernel",
+    "get_cache",
+    "render_report",
     "DFG",
     "DFGBuilder",
     "Opcode",

@@ -15,13 +15,14 @@ import argparse
 import sys
 
 from repro.arch.cgra import CGRA
-from repro.kernels.suite import kernel_names, load_kernel
+from repro.compile import (
+    Instrumentation,
+    compile_kernel,
+    get_cache,
+    render_report,
+)
+from repro.kernels.suite import kernel_names
 from repro.kernels.table1 import TABLE1_SPECS
-from repro.mapper.baseline import map_baseline
-from repro.mapper.bitstream import generate_bitstream
-from repro.mapper.dvfs import map_dvfs_aware
-from repro.mapper.per_tile import assign_per_tile_dvfs
-from repro.mapper.validation import validate_mapping
 from repro.power.model import mapping_power
 from repro.sim.utilization import average_dvfs_fraction, utilization_stats
 from repro import viz
@@ -56,17 +57,16 @@ def cmd_fabric(args) -> int:
 
 def cmd_map(args) -> int:
     cgra = _build_fabric(args)
-    dfg = load_kernel(args.kernel, args.unroll)
-    if args.strategy == "baseline":
-        mapping = map_baseline(dfg, cgra)
-    elif args.strategy == "per_tile":
-        mapping = assign_per_tile_dvfs(map_baseline(dfg, cgra))
-    else:
-        mapping = map_dvfs_aware(dfg, cgra)
-    report = validate_mapping(mapping)
+    shows = set(args.show.split(",")) if args.show else set()
+    instrument = Instrumentation()
+    result = compile_kernel(
+        args.kernel, cgra, args.strategy, unroll=args.unroll,
+        use_cache=not args.no_cache, instrument=instrument,
+        want_bitstream="bitstream" in shows,
+    )
+    mapping, report = result.mapping, result.report
     print(mapping.summary())
 
-    shows = set(args.show.split(",")) if args.show else set()
     if "levels" in shows:
         print()
         print(viz.render_level_map(mapping))
@@ -78,7 +78,7 @@ def cmd_map(args) -> int:
         print(viz.render_utilization_heatmap(mapping, report))
     if "dfg" in shows:
         print()
-        print(viz.render_dfg(dfg, mapping.labels or None))
+        print(viz.render_dfg(mapping.dfg, mapping.labels or None))
     if "power" in shows or not shows:
         stats = utilization_stats(
             mapping, report,
@@ -90,7 +90,10 @@ def cmd_map(args) -> int:
               f"{power.total_mw:.1f} mW")
     if "bitstream" in shows:
         print()
-        print(generate_bitstream(mapping).to_json(indent=2))
+        print(result.bitstream.to_json(indent=2))
+    if args.stats:
+        print()
+        print(render_report(instrument.events, get_cache().stats_dict()))
     return 0
 
 
@@ -113,7 +116,10 @@ def cmd_stream(args) -> int:
     fabric = streaming_cgra()
     profile = inputs[: max(5, args.inputs // 3)]
     run = inputs[len(profile):]
-    partition = partition_app(app, fabric, profile)
+    instrument = Instrumentation()
+    partition = partition_app(app, fabric, profile,
+                              use_cache=not args.no_cache,
+                              instrument=instrument)
     print(partition.summary())
     iced = simulate_stream(partition, run, window=args.window)
     drips = simulate_drips(partition, run, window=args.window)
@@ -123,6 +129,9 @@ def cmd_stream(args) -> int:
           f"{drips.average_power_mw:.1f} mW")
     ratio = iced.perf_per_watt() / drips.perf_per_watt()
     print(f"perf/W ratio (ICED / DRIPS): {ratio:.3f}")
+    if args.stats:
+        print()
+        print(render_report(instrument.events, get_cache().stats_dict()))
     return 0
 
 
@@ -157,11 +166,19 @@ def main(argv: list[str] | None = None) -> int:
         "--show", default="",
         help="comma list: levels,schedule,heatmap,dfg,power,bitstream",
     )
+    map_cmd.add_argument("--stats", action="store_true",
+                         help="print per-pass compile timings")
+    map_cmd.add_argument("--no-cache", action="store_true",
+                         help="bypass the mapping cache")
 
     stream = sub.add_parser("stream", help="run a streaming application")
     stream.add_argument("app", choices=("gcn", "lu"))
     stream.add_argument("--inputs", type=int, default=60)
     stream.add_argument("--window", type=int, default=10)
+    stream.add_argument("--stats", action="store_true",
+                        help="print per-pass compile timings")
+    stream.add_argument("--no-cache", action="store_true",
+                        help="bypass the mapping cache")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate a table/figure"

@@ -1,0 +1,62 @@
+"""`repro.compile` — the unified compilation pipeline.
+
+One explicit pass sequence (lower -> analyze -> place_route ->
+post -> validate [-> bitstream]) behind every mapper entry point,
+with a content-addressed mapping cache and per-pass instrumentation.
+See :mod:`repro.compile.pipeline` for the pass definitions and
+``docs/compilation_pipeline.md`` for the design.
+"""
+
+from repro.compile.cache import (
+    CacheStats,
+    MappingCache,
+    get_cache,
+)
+from repro.compile.fingerprint import (
+    KEY_VERSION,
+    cgra_fingerprint,
+    config_fingerprint,
+    dfg_fingerprint,
+    mapping_cache_key,
+)
+from repro.compile.instrument import (
+    Instrumentation,
+    PassEvent,
+    render_report,
+    summarize,
+)
+from repro.compile.pipeline import (
+    KNOWN_STRATEGIES,
+    CompileContext,
+    CompileResult,
+    compile_annealed,
+    compile_dfg,
+    compile_exhaustive,
+    compile_kernel,
+    resolve_config,
+    resolve_strategy,
+)
+
+__all__ = [
+    "KEY_VERSION",
+    "KNOWN_STRATEGIES",
+    "CacheStats",
+    "CompileContext",
+    "CompileResult",
+    "Instrumentation",
+    "MappingCache",
+    "PassEvent",
+    "cgra_fingerprint",
+    "compile_annealed",
+    "compile_dfg",
+    "compile_exhaustive",
+    "compile_kernel",
+    "config_fingerprint",
+    "dfg_fingerprint",
+    "get_cache",
+    "mapping_cache_key",
+    "render_report",
+    "resolve_config",
+    "resolve_strategy",
+    "summarize",
+]

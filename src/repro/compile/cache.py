@@ -1,0 +1,122 @@
+"""The content-addressed mapping cache.
+
+Artifacts are stored as canonical JSON strings of
+:meth:`repro.mapper.mapping.Mapping.to_dict` keyed by
+:func:`repro.compile.fingerprint.mapping_cache_key`. Storing the
+serialized form (rather than the live object) buys three things:
+
+* **isolation** — every hit rehydrates a fresh ``Mapping``, so no two
+  callers can corrupt each other through a shared mutable artifact;
+* **byte-stability** — the determinism tests compare the cached bytes
+  directly across fresh pipelines;
+* **honesty** — rehydrated artifacts are untrusted by convention and
+  re-validated by the pipeline before being returned, exactly like any
+  other deserialized mapping.
+
+The cache is bounded (LRU) and thread-safe; one process-wide instance
+serves every entry point so experiment harnesses, the streaming
+partitioner and the CLI all share work.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.arch.cgra import CGRA
+from repro.dfg.graph import DFG
+from repro.mapper.mapping import Mapping
+
+#: Default entry bound: a full figure sweep uses a few hundred entries;
+#: the cap only matters for very long-lived server processes.
+DEFAULT_MAX_ENTRIES = 4096
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of one :class:`MappingCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class MappingCache:
+    """Bounded, thread-safe, content-addressed store of mappings."""
+
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def lookup(self, key: str, dfg: DFG, cgra: CGRA) -> Mapping | None:
+        """Rehydrate the artifact under ``key`` against the caller's DFG
+        and fabric instances; ``None`` on miss. The caller must still
+        validate the result before trusting it."""
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+        return Mapping.from_dict(json.loads(blob), dfg, cgra)
+
+    def store(self, key: str, mapping: Mapping) -> None:
+        blob = json.dumps(mapping.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        with self._lock:
+            self._entries[key] = blob
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def serialized(self, key: str) -> str | None:
+        """The raw cached bytes (for byte-identity tests)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def stats_dict(self) -> dict[str, int]:
+        with self._lock:
+            d = self.stats.to_dict()
+            d["entries"] = len(self._entries)
+        return d
+
+
+_GLOBAL_CACHE = MappingCache()
+
+
+def get_cache() -> MappingCache:
+    """The process-wide cache every pipeline entry point defaults to."""
+    return _GLOBAL_CACHE

@@ -1,0 +1,115 @@
+"""Per-pass instrumentation of the compile pipeline.
+
+Every pass emits one :class:`PassEvent` — pass name, wall time and a
+dict of counters (engine search effort, cache hit/miss, graph sizes).
+Events are plain structured data: the experiment harnesses can persist
+them as JSON artifacts, and :func:`render_report` turns an event stream
+into the per-pass timing table ``python -m repro map --stats`` prints.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.utils.tables import TextTable
+
+
+@dataclass
+class PassEvent:
+    """One pass execution inside one compile."""
+
+    pass_name: str
+    wall_ms: float
+    counters: dict[str, float] = field(default_factory=dict)
+    kernel: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "wall_ms": round(self.wall_ms, 3),
+            "kernel": self.kernel,
+            "counters": dict(self.counters),
+        }
+
+
+class Instrumentation:
+    """Collects :class:`PassEvent` streams across one or many compiles."""
+
+    def __init__(self) -> None:
+        self.events: list[PassEvent] = []
+
+    @contextmanager
+    def measure(self, pass_name: str, kernel: str = ""):
+        """Time one pass; yields the event's mutable counter dict."""
+        counters: dict[str, float] = {}
+        start = time.perf_counter()
+        try:
+            yield counters
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.events.append(
+                PassEvent(pass_name, elapsed_ms, counters, kernel)
+            )
+
+    def extend(self, events: list[PassEvent]) -> None:
+        self.events.extend(events)
+
+    def total_ms(self) -> float:
+        return sum(e.wall_ms for e in self.events)
+
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.events]
+
+
+def summarize(events: list[PassEvent]) -> dict[str, dict[str, float]]:
+    """Aggregate an event stream per pass: calls, total/mean wall time,
+    summed counters. Insertion order of first appearance is kept, which
+    matches pipeline pass order."""
+    summary: dict[str, dict[str, float]] = {}
+    for event in events:
+        row = summary.setdefault(
+            event.pass_name, {"calls": 0, "wall_ms": 0.0}
+        )
+        row["calls"] += 1
+        row["wall_ms"] += event.wall_ms
+        for key, value in event.counters.items():
+            row[key] = row.get(key, 0) + value
+    return summary
+
+
+def render_report(events: list[PassEvent],
+                  cache_stats: dict[str, int] | None = None) -> str:
+    """The ``--stats`` text report: per-pass timings plus cache totals."""
+    if not events:
+        return "no compile passes recorded"
+    summary = summarize(events)
+    total = sum(row["wall_ms"] for row in summary.values())
+    table = TextTable(["pass", "calls", "total ms", "mean ms", "share",
+                       "counters"])
+    for name, row in summary.items():
+        calls = int(row["calls"])
+        extras = ", ".join(
+            f"{k}={int(v) if float(v).is_integer() else round(v, 3)}"
+            for k, v in row.items() if k not in ("calls", "wall_ms")
+        )
+        table.add_row([
+            name,
+            calls,
+            round(row["wall_ms"], 1),
+            round(row["wall_ms"] / calls, 2),
+            f"{100.0 * row['wall_ms'] / total:.0f}%" if total else "-",
+            extras or "-",
+        ])
+    lines = [table.render()]
+    if cache_stats is not None:
+        hits = cache_stats.get("hits", 0)
+        misses = cache_stats.get("misses", 0)
+        looked = hits + misses
+        rate = f"{100.0 * hits / looked:.0f}%" if looked else "n/a"
+        lines.append(
+            f"mapping cache: {hits} hits / {misses} misses "
+            f"({rate} hit rate, {cache_stats.get('entries', 0)} entries)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""The unified compilation pipeline.
+
+Every mapping in the repository — baseline, ICED, per-tile, gating,
+anneal-refined, exhaustive-bounded, partition-restricted streaming —
+is produced by this module's pass sequence:
+
+    lower -> analyze -> place_route -> <strategy post-pass> ->
+    validate [-> bitstream]
+
+threaded through one :class:`CompileContext`. The ``place_route`` pass
+is backed by the content-addressed mapping cache
+(:mod:`repro.compile.cache`): a repeated (DFG, fabric, engine config)
+compile rehydrates the cached artifact instead of re-running the
+engine, and the pipeline re-validates it before returning — a cache
+hit is never trusted unchecked. Each pass emits a structured
+:class:`~repro.compile.instrument.PassEvent`; ``--stats`` renders the
+stream as a timing table.
+
+Entry points:
+
+* :func:`compile_kernel` — by Table I kernel name (adds the *lower*
+  pass).
+* :func:`compile_dfg` — from an existing DFG.
+* :func:`compile_annealed` — heuristic seed from the cache, then
+  simulated-annealing refinement.
+* :func:`compile_exhaustive` — exhaustive search bounded above by the
+  cached heuristic's II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cgra import CGRA
+from repro.compile.cache import MappingCache, get_cache
+from repro.compile.fingerprint import mapping_cache_key
+from repro.compile.instrument import Instrumentation, PassEvent
+from repro.dfg.analysis import DFGAnalysis, analyze_dfg
+from repro.dfg.graph import DFG
+from repro.errors import MappingError
+from repro.mapper.anneal import AnnealStats, anneal_mapping
+from repro.mapper.bitstream import Bitstream, generate_bitstream
+from repro.mapper.engine import EngineConfig, EngineStats, map_dfg
+from repro.mapper.exhaustive import SearchStats, map_exhaustive
+from repro.mapper.island_refine import refine_island_levels
+from repro.mapper.mapping import Mapping
+from repro.mapper.per_tile import assign_per_tile_dvfs, gate_unused_tiles
+from repro.mapper.timing import TimingReport
+from repro.mapper.validation import validate_mapping
+
+#: Every strategy the pipeline compiles, mapped to the engine flavour
+#: that produces its underlying placement.
+STRATEGY_ALIASES = {"per_tile": "per_tile_dvfs"}
+KNOWN_STRATEGIES = (
+    "baseline", "baseline+gating", "per_tile_dvfs", "iced", "anneal",
+)
+
+#: Sentinel: the refinement pass inherits ``config.allowed_level_names``.
+_FROM_CONFIG = object()
+
+
+@dataclass
+class CompileContext:
+    """Everything a pass may read or produce, threaded pass to pass."""
+
+    cgra: CGRA
+    strategy: str
+    config: EngineConfig
+    dfg: DFG | None = None
+    kernel: str = ""
+    unroll: int = 1
+    seed: int = 0
+    use_cache: bool = True
+    cache: MappingCache | None = None
+    instrument: Instrumentation | None = None
+    # -- produced by passes -------------------------------------------------
+    analysis: DFGAnalysis | None = None
+    mapping: Mapping | None = None
+    report: TimingReport | None = None
+    bitstream: Bitstream | None = None
+    engine_stats: EngineStats | None = None
+    anneal_stats: AnnealStats | None = None
+    cache_key: str = ""
+    cache_hit: bool = False
+    # -- options ------------------------------------------------------------
+    refine: bool = True
+    refine_level_names: object = _FROM_CONFIG
+    anneal_moves: int = 800
+
+
+@dataclass
+class CompileResult:
+    """The pipeline's output artifact bundle."""
+
+    mapping: Mapping
+    report: TimingReport
+    events: list[PassEvent] = field(default_factory=list)
+    cache_key: str = ""
+    cache_hit: bool = False
+    engine_stats: EngineStats | None = None
+    anneal_stats: AnnealStats | None = None
+    bitstream: Bitstream | None = None
+
+    @property
+    def wall_ms(self) -> float:
+        return sum(e.wall_ms for e in self.events)
+
+
+def resolve_strategy(strategy: str) -> str:
+    strategy = STRATEGY_ALIASES.get(strategy, strategy)
+    if strategy not in KNOWN_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; known: {KNOWN_STRATEGIES}"
+        )
+    return strategy
+
+
+def resolve_config(strategy: str,
+                   config: EngineConfig | None) -> EngineConfig:
+    """The engine configuration a strategy's placement actually runs
+    with. Derived strategies (gating, per-tile, anneal) post-process a
+    *baseline* placement, so their engine runs DVFS-oblivious whatever
+    the caller passed — mirroring the historical entry points."""
+    from dataclasses import replace
+
+    if config is None:
+        config = EngineConfig.for_strategy(strategy)
+    want_dvfs = strategy == "iced"
+    if config.dvfs_aware != want_dvfs:
+        config = replace(config, dvfs_aware=want_dvfs)
+    return config
+
+
+# -- passes -----------------------------------------------------------------
+
+
+def _pass_lower(ctx: CompileContext) -> None:
+    from repro.kernels.suite import load_kernel
+
+    with ctx.instrument.measure("lower", ctx.kernel) as counters:
+        ctx.dfg = load_kernel(ctx.kernel, ctx.unroll)
+        counters["nodes"] = ctx.dfg.num_nodes
+        counters["edges"] = ctx.dfg.num_edges
+
+
+def _pass_analyze(ctx: CompileContext) -> None:
+    with ctx.instrument.measure("analyze", ctx.dfg.name) as counters:
+        ctx.analysis = analyze_dfg(ctx.dfg)
+        counters["rec_mii"] = ctx.analysis.rec_mii
+        counters["nodes"] = ctx.dfg.num_nodes
+
+
+def _pass_place_route(ctx: CompileContext) -> None:
+    """Label + place + route through the engine, cache-backed."""
+    cache = ctx.cache if ctx.cache is not None else get_cache()
+    ctx.cache_key = mapping_cache_key(ctx.dfg, ctx.cgra, ctx.config,
+                                      "engine")
+    with ctx.instrument.measure("place_route", ctx.dfg.name) as counters:
+        if ctx.use_cache:
+            try:
+                cached = cache.lookup(ctx.cache_key, ctx.dfg, ctx.cgra)
+            except Exception:
+                cached = None  # corrupt artifact: recompile cold
+            if cached is not None:
+                ctx.mapping = cached
+                ctx.cache_hit = True
+                counters["cache_hit"] = 1
+                counters["ii"] = cached.ii
+                return
+        stats = EngineStats()
+        ctx.mapping = map_dfg(ctx.dfg, ctx.cgra, ctx.config,
+                              analysis=ctx.analysis, stats=stats)
+        ctx.engine_stats = stats
+        counters.update(stats.as_counters())
+        counters["cache_hit"] = 0
+        counters["ii"] = ctx.mapping.ii
+        if ctx.use_cache:
+            cache.store(ctx.cache_key, ctx.mapping)
+
+
+def _pass_post(ctx: CompileContext) -> None:
+    """The strategy's post-pass over the engine placement (if any)."""
+    if ctx.strategy == "baseline":
+        return
+    name = {
+        "iced": "refine_islands",
+        "baseline+gating": "gate_unused",
+        "per_tile_dvfs": "per_tile_dvfs",
+        "anneal": "anneal",
+    }[ctx.strategy]
+    if ctx.strategy == "iced" and not ctx.refine:
+        return
+    with ctx.instrument.measure(name, ctx.dfg.name) as counters:
+        if ctx.strategy == "iced":
+            names = (
+                ctx.config.allowed_level_names
+                if ctx.refine_level_names is _FROM_CONFIG
+                else ctx.refine_level_names
+            )
+            ctx.mapping = refine_island_levels(ctx.mapping, names)
+        elif ctx.strategy == "baseline+gating":
+            ctx.mapping = gate_unused_tiles(ctx.mapping)
+        elif ctx.strategy == "per_tile_dvfs":
+            ctx.mapping = assign_per_tile_dvfs(ctx.mapping)
+        else:  # anneal
+            ctx.mapping, ctx.anneal_stats = anneal_mapping(
+                ctx.mapping, moves=ctx.anneal_moves, seed=ctx.seed,
+            )
+            counters["moves_tried"] = ctx.anneal_stats.moves_tried
+            counters["moves_accepted"] = ctx.anneal_stats.moves_accepted
+        counters["gated_tiles"] = len(ctx.mapping.gated_tiles())
+
+
+def _pass_validate(ctx: CompileContext) -> None:
+    """Full structural + timing revalidation — cache hits included, so
+    a rehydrated artifact is provably as good as a cold compile."""
+    with ctx.instrument.measure("validate", ctx.dfg.name) as counters:
+        ctx.report = validate_mapping(ctx.mapping)
+        counters["ii"] = ctx.report.ii
+        counters["cache_hit"] = 1 if ctx.cache_hit else 0
+
+
+def _pass_bitstream(ctx: CompileContext) -> None:
+    with ctx.instrument.measure("bitstream", ctx.dfg.name) as counters:
+        ctx.bitstream = generate_bitstream(ctx.mapping)
+        counters["words"] = ctx.bitstream.words_used()
+
+
+# -- entry points -----------------------------------------------------------
+
+
+def _run(ctx: CompileContext, want_bitstream: bool) -> CompileResult:
+    ctx.instrument = ctx.instrument or Instrumentation()
+    first_event = len(ctx.instrument.events)
+    if ctx.dfg is None:
+        _pass_lower(ctx)
+    _pass_analyze(ctx)
+    _pass_place_route(ctx)
+    _pass_post(ctx)
+    _pass_validate(ctx)
+    if want_bitstream:
+        _pass_bitstream(ctx)
+    return CompileResult(
+        mapping=ctx.mapping,
+        report=ctx.report,
+        events=ctx.instrument.events[first_event:],
+        cache_key=ctx.cache_key,
+        cache_hit=ctx.cache_hit,
+        engine_stats=ctx.engine_stats,
+        anneal_stats=ctx.anneal_stats,
+        bitstream=ctx.bitstream,
+    )
+
+
+def compile_dfg(dfg: DFG, cgra: CGRA, strategy: str = "iced",
+                config: EngineConfig | None = None, *,
+                refine: bool = True,
+                refine_level_names: object = _FROM_CONFIG,
+                anneal_moves: int = 800, seed: int = 0,
+                use_cache: bool = True, cache: MappingCache | None = None,
+                instrument: Instrumentation | None = None,
+                want_bitstream: bool = False) -> CompileResult:
+    """Compile an existing DFG onto ``cgra`` under ``strategy``."""
+    strategy = resolve_strategy(strategy)
+    ctx = CompileContext(
+        cgra=cgra, strategy=strategy,
+        config=resolve_config(strategy, config), dfg=dfg,
+        seed=seed, use_cache=use_cache, cache=cache,
+        instrument=instrument, refine=refine,
+        refine_level_names=refine_level_names, anneal_moves=anneal_moves,
+    )
+    return _run(ctx, want_bitstream)
+
+
+def compile_kernel(name: str, cgra: CGRA, strategy: str = "iced",
+                   config: EngineConfig | None = None, *,
+                   unroll: int = 1, refine: bool = True,
+                   anneal_moves: int = 800, seed: int = 0,
+                   use_cache: bool = True,
+                   cache: MappingCache | None = None,
+                   instrument: Instrumentation | None = None,
+                   want_bitstream: bool = False) -> CompileResult:
+    """Compile a Table I kernel by name (runs the *lower* pass too)."""
+    strategy = resolve_strategy(strategy)
+    ctx = CompileContext(
+        cgra=cgra, strategy=strategy,
+        config=resolve_config(strategy, config),
+        kernel=name, unroll=unroll, seed=seed,
+        use_cache=use_cache, cache=cache, instrument=instrument,
+        refine=refine, anneal_moves=anneal_moves,
+    )
+    return _run(ctx, want_bitstream)
+
+
+def compile_annealed(dfg: DFG, cgra: CGRA,
+                     config: EngineConfig | None = None, *,
+                     moves: int = 800, seed: int = 0,
+                     use_cache: bool = True,
+                     cache: MappingCache | None = None,
+                     instrument: Instrumentation | None = None,
+                     ) -> tuple[CompileResult, CompileResult]:
+    """The annealing comparison pair: (heuristic seed, refined result).
+
+    The seed mapping comes through the cache, so sweeping anneal
+    parameters (moves, seed) never re-runs the constructive engine.
+    """
+    base = compile_dfg(dfg, cgra, "baseline", config,
+                       use_cache=use_cache, cache=cache,
+                       instrument=instrument)
+    refined = compile_dfg(dfg, cgra, "anneal", config,
+                          anneal_moves=moves, seed=seed,
+                          use_cache=use_cache, cache=cache,
+                          instrument=instrument)
+    return base, refined
+
+
+def compile_exhaustive(dfg: DFG, cgra: CGRA, *, max_ii: int = 8,
+                       max_probes: int = 400_000, use_cache: bool = True,
+                       cache: MappingCache | None = None,
+                       instrument: Instrumentation | None = None,
+                       ) -> tuple[Mapping, SearchStats]:
+    """Exhaustive minimum-II search, bounded by the cached heuristic.
+
+    The heuristic's II is a sound upper bound on the optimum (the
+    exhaustive search uses the same feasibility rules), so the search
+    never deepens past it — and the heuristic mapping itself comes from
+    the cache when available.
+    """
+    instrument = instrument or Instrumentation()
+    bound = max_ii
+    try:
+        heuristic = compile_dfg(dfg, cgra, "baseline",
+                                use_cache=use_cache, cache=cache,
+                                instrument=instrument)
+        bound = min(max_ii, heuristic.mapping.ii)
+    except MappingError:
+        pass  # heuristic gave up; search the caller's full range
+    with instrument.measure("exhaustive", dfg.name) as counters:
+        mapping, stats = map_exhaustive(dfg, cgra, max_ii=bound,
+                                        max_probes=max_probes)
+        counters["probes"] = stats.probes
+        counters["backtracks"] = stats.backtracks
+        counters["ii"] = mapping.ii
+    return mapping, stats

@@ -10,7 +10,9 @@ from repro.dfg.ops import Opcode, MEMORY_OPS, is_memory_op
 from repro.dfg.graph import DFG, DFGNode, DFGEdge
 from repro.dfg.builder import DFGBuilder
 from repro.dfg.analysis import (
+    DFGAnalysis,
     RecurrenceCycle,
+    analyze_dfg,
     recurrence_cycles,
     rec_mii,
     res_mii,
@@ -30,7 +32,9 @@ __all__ = [
     "DFGNode",
     "DFGEdge",
     "DFGBuilder",
+    "DFGAnalysis",
     "RecurrenceCycle",
+    "analyze_dfg",
     "recurrence_cycles",
     "rec_mii",
     "res_mii",

@@ -176,6 +176,31 @@ def height_levels(dfg: DFG) -> dict[int, int]:
 
 
 @dataclass(frozen=True)
+class DFGAnalysis:
+    """The analysis bundle the placement engine consumes.
+
+    Computed once per DFG by the compile pipeline's *analyze* pass and
+    threaded through every II retry of the engine's deepening loop —
+    the quantities are invariant across retries, so recomputing them
+    per attempt (as the engine historically did) is pure waste.
+    """
+
+    rec_mii: int
+    topo: tuple[int, ...]
+    heights: dict[int, int]
+
+
+def analyze_dfg(dfg: DFG) -> DFGAnalysis:
+    """Validate ``dfg`` and compute the engine's per-DFG analyses."""
+    dfg.validate()
+    return DFGAnalysis(
+        rec_mii=rec_mii(dfg),
+        topo=tuple(topo_order(dfg)),
+        heights=height_levels(dfg),
+    )
+
+
+@dataclass(frozen=True)
 class DFGStats:
     """The per-kernel characterization Table I reports."""
 

@@ -10,11 +10,11 @@ energy win comes from the labeling pass itself.
 from __future__ import annotations
 
 from repro.arch.cgra import CGRA
+from repro.compile import compile_dfg
 from repro.experiments.base import ExperimentResult
 from repro.kernels.suite import load_kernel
 from repro.mapper.dvfs import map_dvfs_aware
-from repro.mapper.engine import EngineConfig, map_dfg
-from repro.mapper.island_refine import refine_island_levels
+from repro.mapper.engine import EngineConfig
 from repro.power.model import mapping_power
 from repro.sim.utilization import average_dvfs_fraction
 from repro.utils.tables import TextTable
@@ -34,13 +34,14 @@ def run(kernels: tuple[str, ...] = ("fir", "spmv", "gemm", "histogram"),
         labeled = map_dvfs_aware(dfg, cgra)
         # Unlabeled arm: Algorithm 2 runs with all-normal labels (no
         # node prefers a slow island); the post-mapping refinement is
-        # kept in both arms so the delta isolates the labeling pass.
-        unlabeled = map_dfg(
-            dfg, cgra,
+        # kept in both arms (unrestricted: refine_level_names=None) so
+        # the delta isolates the labeling pass.
+        unlabeled = compile_dfg(
+            dfg, cgra, "iced",
             EngineConfig(dvfs_aware=True,
                          allowed_level_names=("normal",)),
-        )
-        unlabeled = refine_island_levels(unlabeled)
+            refine_level_names=None,
+        ).mapping
         p_l = mapping_power(labeled).total_mw
         p_u = mapping_power(unlabeled).total_mw
         gains.append(p_u / p_l)

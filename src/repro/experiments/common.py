@@ -1,26 +1,35 @@
 """Shared mapping machinery for the experiment harnesses.
 
-A process-wide cache keyed by (kernel, unroll, fabric, strategy) keeps
-each mapping computed once even when several figures consume it (Fig 9,
-10 and 11 all need the same three mappings per kernel).
+All figure experiments compile through :mod:`repro.compile` — one
+pipeline, one content-addressed mapping cache — so Fig 9, 10 and 11
+(which all need the same mappings per kernel) share engine work, and a
+repeated sweep is served almost entirely from cache. On top of the
+pipeline cache sits a small per-process memo of ``MappedKernel``
+bundles so intra-process re-use skips even rehydration + revalidation.
+
+:func:`sweep_strategies` is the one kernel x strategy x unroll loop the
+per-figure modules used to copy-paste.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.arch.cgra import CGRA
-from repro.kernels.suite import load_kernel
-from repro.mapper.baseline import map_baseline
-from repro.mapper.dvfs import map_dvfs_aware
+from repro.compile import Instrumentation, compile_kernel
+from repro.errors import MappingError
 from repro.mapper.mapping import Mapping
-from repro.mapper.per_tile import assign_per_tile_dvfs, gate_unused_tiles
-from repro.mapper.timing import TimingReport, compute_timing
+from repro.mapper.timing import TimingReport
 
 #: The three evaluated designs of section V plus the gating variant.
 STRATEGIES = ("baseline", "baseline+gating", "per_tile_dvfs", "iced")
 
-_CACHE: dict[tuple, "MappedKernel"] = {}
+_MEMO: dict[tuple, "MappedKernel"] = {}
+
+#: Pass events of every compile issued by the experiment layer; the
+#: benchmark harness renders these into per-pass timing artifacts.
+_INSTRUMENT = Instrumentation()
 
 
 @dataclass
@@ -29,6 +38,7 @@ class MappedKernel:
 
     mapping: Mapping
     report: TimingReport
+    cache_hit: bool = False
 
 
 def fabric_key(cgra: CGRA) -> tuple:
@@ -39,27 +49,96 @@ def fabric_key(cgra: CGRA) -> tuple:
 
 def mapped_kernel(name: str, unroll: int, cgra: CGRA,
                   strategy: str) -> MappedKernel:
-    """Map (and cache) one kernel under one strategy."""
+    """Compile (and memoize) one kernel under one strategy."""
     if strategy not in STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}")
     key = (name, unroll, fabric_key(cgra), strategy)
-    if key in _CACHE:
-        return _CACHE[key]
-
-    if strategy == "baseline":
-        mapping = map_baseline(load_kernel(name, unroll), cgra)
-    elif strategy == "iced":
-        mapping = map_dvfs_aware(load_kernel(name, unroll), cgra)
-    else:
-        base = mapped_kernel(name, unroll, cgra, "baseline")
-        if strategy == "baseline+gating":
-            mapping = gate_unused_tiles(base.mapping)
-        else:  # per_tile_dvfs
-            mapping = assign_per_tile_dvfs(base.mapping)
-    result = MappedKernel(mapping=mapping, report=compute_timing(mapping))
-    _CACHE[key] = result
+    if key in _MEMO:
+        return _MEMO[key]
+    compiled = compile_kernel(name, cgra, strategy, unroll=unroll,
+                              instrument=_INSTRUMENT)
+    result = MappedKernel(mapping=compiled.mapping,
+                          report=compiled.report,
+                          cache_hit=compiled.cache_hit)
+    _MEMO[key] = result
     return result
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Drop the experiment memo (the pipeline's mapping cache stays)."""
+    _MEMO.clear()
+
+
+def get_instrumentation() -> Instrumentation:
+    """The pass-event stream of every experiment-layer compile."""
+    return _INSTRUMENT
+
+
+# -- the shared figure sweep ------------------------------------------------
+
+#: A metric over one compiled kernel: (bundle, strategy) -> value.
+Metric = Callable[[MappedKernel, str], float]
+
+
+@dataclass
+class SweepRow:
+    """One kernel's metric values across the swept strategies."""
+
+    kernel: str
+    unroll: int
+    values: dict[str, float]
+
+
+@dataclass
+class StrategySweep:
+    """A full kernels x strategies x unrolls metric sweep."""
+
+    strategies: tuple[str, ...]
+    unrolls: tuple[int, ...]
+    rows: list[SweepRow] = field(default_factory=list)
+    #: (strategy, unroll) -> mean metric over the kernels mapped there.
+    averages: dict[tuple[str, int], float] = field(default_factory=dict)
+    #: unroll -> how many kernels mapped successfully.
+    mapped: dict[int, int] = field(default_factory=dict)
+
+    def series(self, unroll: int) -> list[float]:
+        return [self.averages[(s, unroll)] for s in self.strategies]
+
+
+def sweep_strategies(kernels: tuple[str, ...], cgra: CGRA,
+                     strategies: tuple[str, ...], metric: Metric,
+                     unrolls: tuple[int, ...] = (1,), *,
+                     skip_unmappable: bool = False) -> StrategySweep:
+    """The kernel x strategy x unroll loop shared by Figs 9-12.
+
+    Compiles every combination through the pipeline, applies ``metric``
+    to each, and aggregates per-(strategy, unroll) averages. With
+    ``skip_unmappable`` a kernel that raises
+    :class:`~repro.errors.MappingError` under *any* strategy is dropped
+    from that unroll's rows and averages (the Fig 12 small-fabric case).
+    """
+    sweep = StrategySweep(strategies=tuple(strategies),
+                          unrolls=tuple(unrolls))
+    for unroll in unrolls:
+        sums = {s: 0.0 for s in strategies}
+        mapped = 0
+        for name in kernels:
+            values: dict[str, float] = {}
+            try:
+                for strategy in strategies:
+                    bundle = mapped_kernel(name, unroll, cgra, strategy)
+                    values[strategy] = metric(bundle, strategy)
+            except MappingError:
+                if skip_unmappable:
+                    continue  # kernel too large for this fabric
+                raise
+            for strategy in strategies:
+                sums[strategy] += values[strategy]
+            sweep.rows.append(SweepRow(name, unroll, values))
+            mapped += 1
+        sweep.mapped[unroll] = mapped
+        for strategy in strategies:
+            sweep.averages[(strategy, unroll)] = (
+                sums[strategy] / mapped if mapped else 0.0
+            )
+    return sweep

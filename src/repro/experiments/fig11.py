@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.arch.cgra import CGRA
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import mapped_kernel
+from repro.experiments.common import sweep_strategies
 from repro.kernels.table1 import STANDALONE_KERNELS
 from repro.power.model import mapping_power
 from repro.utils.tables import TextTable
@@ -19,30 +19,24 @@ from repro.utils.tables import TextTable
 STRATEGY_ORDER = ("baseline", "baseline+gating", "per_tile_dvfs", "iced")
 
 
+def _power_mw(mk, strategy: str) -> float:
+    return mapping_power(mk.mapping).total_mw
+
+
 def run(kernels: tuple[str, ...] = STANDALONE_KERNELS,
         size: int = 6,
         unrolls: tuple[int, ...] = (1, 2)) -> ExperimentResult:
     cgra = CGRA.build(size, size)
+    sweep = sweep_strategies(kernels, cgra, STRATEGY_ORDER,
+                             _power_mw, unrolls)
     table = TextTable(
         ["kernel", "unroll"] + [f"{s} mW" for s in STRATEGY_ORDER]
     )
-    series: dict[str, list[float]] = {}
-    averages: dict[tuple[str, int], float] = {}
-    for unroll in unrolls:
-        sums = {s: 0.0 for s in STRATEGY_ORDER}
-        for name in kernels:
-            row = [name, unroll]
-            for strategy in STRATEGY_ORDER:
-                mk = mapped_kernel(name, unroll, cgra, strategy)
-                power = mapping_power(mk.mapping).total_mw
-                sums[strategy] += power
-                row.append(round(power, 1))
-            table.add_row(row)
-        for strategy in STRATEGY_ORDER:
-            averages[(strategy, unroll)] = sums[strategy] / len(kernels)
-        series[f"unroll {unroll} (mW)"] = [
-            averages[(s, unroll)] for s in STRATEGY_ORDER
-        ]
+    for row in sweep.rows:
+        table.add_row([row.kernel, row.unroll]
+                      + [round(row.values[s], 1) for s in STRATEGY_ORDER])
+    series = {f"unroll {u} (mW)": sweep.series(u) for u in unrolls}
+    averages = sweep.averages
 
     notes = []
     for unroll in unrolls:

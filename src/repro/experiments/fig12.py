@@ -10,13 +10,17 @@ from __future__ import annotations
 
 from repro.arch.cgra import CGRA
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import mapped_kernel
-from repro.errors import MappingError
+from repro.experiments.common import sweep_strategies
 from repro.kernels.table1 import STANDALONE_KERNELS
 from repro.sim.utilization import average_dvfs_fraction
 from repro.utils.tables import TextTable
 
 DEFAULT_SIZES = (2, 4, 6, 8)
+STRATEGY_ORDER = ("per_tile_dvfs", "iced")
+
+
+def _avg_level(mk, strategy: str) -> float:
+    return average_dvfs_fraction(mk.mapping)
 
 
 def run(kernels: tuple[str, ...] = STANDALONE_KERNELS,
@@ -28,22 +32,17 @@ def run(kernels: tuple[str, ...] = STANDALONE_KERNELS,
     series = {"per_tile": [], "iced": []}
     for size in sizes:
         cgra = CGRA.build(size, size)
-        pt_sum, iced_sum, mapped = 0.0, 0.0, 0
-        for name in kernels:
-            try:
-                pt = mapped_kernel(name, unroll, cgra, "per_tile_dvfs")
-                iced = mapped_kernel(name, unroll, cgra, "iced")
-            except MappingError:
-                continue  # kernel too large for this fabric (2x2 case)
-            pt_sum += average_dvfs_fraction(pt.mapping)
-            iced_sum += average_dvfs_fraction(iced.mapping)
-            mapped += 1
+        sweep = sweep_strategies(kernels, cgra, STRATEGY_ORDER,
+                                 _avg_level, (unroll,),
+                                 skip_unmappable=True)
+        mapped = sweep.mapped[unroll]
         if not mapped:
             table.add_row([f"{size}x{size}", 0, "-", "-"])
             series["per_tile"].append(1.0)
             series["iced"].append(1.0)
             continue
-        pt_avg, iced_avg = pt_sum / mapped, iced_sum / mapped
+        pt_avg = sweep.averages[("per_tile_dvfs", unroll)]
+        iced_avg = sweep.averages[("iced", unroll)]
         series["per_tile"].append(pt_avg)
         series["iced"].append(iced_avg)
         table.add_row([f"{size}x{size}", mapped,

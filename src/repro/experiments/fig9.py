@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.arch.cgra import CGRA
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import mapped_kernel
+from repro.experiments.common import sweep_strategies
 from repro.kernels.table1 import STANDALONE_KERNELS
 from repro.sim.utilization import utilization_stats
 from repro.utils.tables import TextTable
@@ -18,33 +18,28 @@ from repro.utils.tables import TextTable
 STRATEGY_ORDER = ("baseline", "per_tile_dvfs", "iced")
 
 
+def _utilization(mk, strategy: str) -> float:
+    # power-gated tiles burn nothing, so the DVFS configurations exclude
+    # them from the average; the baseline counts every tile
+    return utilization_stats(
+        mk.mapping, mk.report, include_gated=(strategy == "baseline"),
+    ).average
+
+
 def run(kernels: tuple[str, ...] = STANDALONE_KERNELS,
         size: int = 6,
         unrolls: tuple[int, ...] = (1, 2)) -> ExperimentResult:
     cgra = CGRA.build(size, size)
+    sweep = sweep_strategies(kernels, cgra, STRATEGY_ORDER,
+                             _utilization, unrolls)
     table = TextTable(
         ["kernel", "unroll"] + [f"{s} util" for s in STRATEGY_ORDER]
     )
-    series: dict[str, list[float]] = {}
-    averages: dict[tuple[str, int], float] = {}
-    for unroll in unrolls:
-        sums = {s: 0.0 for s in STRATEGY_ORDER}
-        for name in kernels:
-            row = [name, unroll]
-            for strategy in STRATEGY_ORDER:
-                mk = mapped_kernel(name, unroll, cgra, strategy)
-                stats = utilization_stats(
-                    mk.mapping, mk.report,
-                    include_gated=(strategy == "baseline"),
-                )
-                sums[strategy] += stats.average
-                row.append(round(stats.average, 3))
-            table.add_row(row)
-        for strategy in STRATEGY_ORDER:
-            averages[(strategy, unroll)] = sums[strategy] / len(kernels)
-        series[f"unroll {unroll}"] = [
-            averages[(s, unroll)] for s in STRATEGY_ORDER
-        ]
+    for row in sweep.rows:
+        table.add_row([row.kernel, row.unroll]
+                      + [round(row.values[s], 3) for s in STRATEGY_ORDER])
+    series = {f"unroll {u}": sweep.series(u) for u in unrolls}
+    averages = sweep.averages
 
     notes = []
     for unroll in unrolls:

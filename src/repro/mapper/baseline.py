@@ -8,18 +8,20 @@ islands, no gating.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.arch.cgra import CGRA
 from repro.dfg.graph import DFG
-from repro.mapper.engine import EngineConfig, map_dfg
+from repro.mapper.engine import EngineConfig
 from repro.mapper.mapping import Mapping
 
 
 def map_baseline(dfg: DFG, cgra: CGRA,
                  config: EngineConfig | None = None) -> Mapping:
-    """Map ``dfg`` with the conventional strategy (all tiles at normal)."""
-    config = config or EngineConfig()
-    if config.dvfs_aware:
-        config = replace(config, dvfs_aware=False)
-    return map_dfg(dfg, cgra, config)
+    """Map ``dfg`` with the conventional strategy (all tiles at normal).
+
+    Thin wrapper over :func:`repro.compile.compile_dfg` — the pipeline
+    forces the engine DVFS-oblivious and serves repeated compiles from
+    the mapping cache.
+    """
+    from repro.compile import compile_dfg  # lazy: breaks import cycle
+
+    return compile_dfg(dfg, cgra, "baseline", config).mapping

@@ -10,12 +10,9 @@ and leaves the rest power gated.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.arch.cgra import CGRA
 from repro.dfg.graph import DFG
-from repro.mapper.engine import EngineConfig, map_dfg
-from repro.mapper.island_refine import refine_island_levels
+from repro.mapper.engine import EngineConfig
 from repro.mapper.mapping import Mapping
 
 
@@ -27,11 +24,10 @@ def map_dvfs_aware(dfg: DFG, cgra: CGRA,
     ``refine`` runs the post-mapping island refinement (gate untouched
     islands, slow the rest as far as the schedule provably tolerates);
     disable it to inspect Algorithm 2's raw greedy assignment.
+
+    Thin wrapper over :func:`repro.compile.compile_dfg` — the engine
+    placement is served from the mapping cache on repeated compiles.
     """
-    config = config or EngineConfig(dvfs_aware=True)
-    if not config.dvfs_aware:
-        config = replace(config, dvfs_aware=True)
-    mapping = map_dfg(dfg, cgra, config)
-    if refine:
-        mapping = refine_island_levels(mapping, config.allowed_level_names)
-    return mapping
+    from repro.compile import compile_dfg  # lazy: breaks import cycle
+
+    return compile_dfg(dfg, cgra, "iced", config, refine=refine).mapping

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.cgra import CGRA
 from repro.arch.dvfs import DVFSLevel
-from repro.dfg.analysis import height_levels, rec_mii, topo_order
+from repro.dfg.analysis import DFGAnalysis, analyze_dfg
 from repro.dfg.graph import DFG, DFGEdge
 from repro.dfg.ops import Opcode
 from repro.errors import MappingError
@@ -77,6 +77,48 @@ class EngineConfig:
     w_new_island: float = 6.0
     w_pressure: float = 3.0
 
+    @classmethod
+    def for_strategy(cls, strategy: str) -> "EngineConfig":
+        """The canonical engine configuration of an evaluated design.
+
+        This is the single source of truth for default engine tunables
+        (cost weights included): every mapper entry point and experiment
+        harness derives its configuration from here instead of restating
+        values inline.
+        """
+        dvfs_aware = strategy not in (
+            "baseline", "baseline+gating", "per_tile_dvfs", "per_tile",
+            "anneal", "exhaustive",
+        )
+        return cls(dvfs_aware=dvfs_aware)
+
+
+@dataclass
+class EngineStats:
+    """Search-effort counters of one :func:`map_dfg` run.
+
+    Surfaced by the compile pipeline's instrumentation layer so the
+    compile-time/quality trade the paper argues for (§VI) is observable
+    per invocation.
+    """
+
+    iis_tried: int = 0
+    attempts: int = 0
+    reschedules: int = 0
+    candidates_probed: int = 0
+    routes_searched: int = 0
+    placements_committed: int = 0
+
+    def as_counters(self) -> dict[str, int]:
+        return {
+            "iis_tried": self.iis_tried,
+            "attempts": self.attempts,
+            "reschedules": self.reschedules,
+            "candidates_probed": self.candidates_probed,
+            "routes_searched": self.routes_searched,
+            "placements_committed": self.placements_committed,
+        }
+
 
 #: Sentinel: issuing this node later cannot help (out-edge deadline hit).
 _BREAK = object()
@@ -98,20 +140,33 @@ class _AttemptFailed(Exception):
         self.suggestion = suggestion
 
 
-def map_dfg(dfg: DFG, cgra: CGRA, config: EngineConfig | None = None) -> Mapping:
-    """Map ``dfg`` onto ``cgra``; raises :class:`MappingError` on failure."""
+def map_dfg(dfg: DFG, cgra: CGRA, config: EngineConfig | None = None,
+            *, analysis: DFGAnalysis | None = None,
+            stats: EngineStats | None = None) -> Mapping:
+    """Map ``dfg`` onto ``cgra``; raises :class:`MappingError` on failure.
+
+    ``analysis`` accepts the compile pipeline's precomputed
+    :class:`~repro.dfg.analysis.DFGAnalysis` (RecMII, topological order,
+    height levels) so the outer II-deepening loop never recomputes
+    them; when omitted it is computed here, once. ``stats`` collects
+    search-effort counters when supplied.
+    """
     config = config or EngineConfig()
-    dfg.validate()
+    if analysis is None:
+        analysis = analyze_dfg(dfg)  # also validates the DFG
+    stats = stats if stats is not None else EngineStats()
     tiles = _allowed_tiles(cgra, config)
     _check_memory_feasible(dfg, cgra, tiles)
 
     num_mappable = sum(
         1 for n in dfg.nodes() if n.opcode is not Opcode.CONST
     )
-    start_ii = max(rec_mii(dfg), math.ceil(num_mappable / len(tiles)))
+    order = _schedule_order(dfg, analysis)
+    start_ii = max(analysis.rec_mii, math.ceil(num_mappable / len(tiles)))
     last_error = ""
     softening_steps = len(cgra.dvfs.levels) if config.dvfs_aware else 1
     for ii in range(start_ii, config.max_ii + 1):
+        stats.iis_tried += 1
         for soften in range(softening_steps):
             # Performance first (the paper's Alg. 1 falls back to normal
             # labels rather than risk the II): before conceding a longer
@@ -124,9 +179,12 @@ def map_dfg(dfg: DFG, cgra: CGRA, config: EngineConfig | None = None) -> Mapping
             else:
                 labels = {n: cgra.dvfs.normal for n in dfg.node_ids()}
             floors: dict[int, int] = {}
-            for _retry in range(config.max_reschedules + 1):
+            for retry in range(config.max_reschedules + 1):
+                stats.attempts += 1
+                if retry:
+                    stats.reschedules += 1
                 attempt = _Attempt(dfg, cgra, config, ii, labels, tiles,
-                                   floors)
+                                   floors, order=order, stats=stats)
                 try:
                     return attempt.run()
                 except _AttemptFailed as exc:
@@ -145,6 +203,40 @@ def map_dfg(dfg: DFG, cgra: CGRA, config: EngineConfig | None = None) -> Mapping
         f"{cgra.name} within II <= {config.max_ii}: {last_error}",
         last_ii=config.max_ii,
     )
+
+
+def _schedule_order(dfg: DFG, analysis: DFGAnalysis) -> list[int]:
+    """Topological placement order, deepest-ready-node first.
+
+    Depends only on the DFG (CONST nodes are immediates and never
+    appear), so the engine computes it once per ``map_dfg`` call and
+    reuses it across every (II, soften, reschedule) attempt.
+    """
+    immediates = {
+        n.id for n in dfg.nodes() if n.opcode is Opcode.CONST
+    }
+    heights = analysis.heights
+    order = [n for n in analysis.topo if n not in immediates]
+    indegree = {n: 0 for n in dfg.node_ids()}
+    out_edges: dict[int, list[DFGEdge]] = {n: [] for n in dfg.node_ids()}
+    for edge in dfg.edges():
+        if edge.src in immediates or edge.dst in immediates:
+            continue
+        out_edges[edge.src].append(edge)
+        if edge.dist == 0:
+            indegree[edge.dst] += 1
+    ready = [n for n in order if indegree[n] == 0]
+    result: list[int] = []
+    while ready:
+        ready.sort(key=lambda n: (-heights[n], n))
+        node = ready.pop(0)
+        result.append(node)
+        for edge in out_edges[node]:
+            if edge.dist == 0:
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+    return result
 
 
 def _allowed_tiles(cgra: CGRA, config: EngineConfig) -> list[int]:
@@ -215,7 +307,9 @@ class _Attempt:
 
     def __init__(self, dfg: DFG, cgra: CGRA, config: EngineConfig,
                  ii: int, labels: dict[int, DVFSLevel], tiles: list[int],
-                 floors: dict[int, int] | None = None):
+                 floors: dict[int, int] | None = None, *,
+                 order: list[int] | None = None,
+                 stats: EngineStats | None = None):
         self.dfg = dfg
         self.cgra = cgra
         self.config = config
@@ -223,6 +317,8 @@ class _Attempt:
         self.labels = labels
         self.tiles = tiles
         self.floors = dict(floors or {})
+        self.order = order
+        self.stats = stats if stats is not None else EngineStats()
         self.mrrg = MRRG(cgra, ii, config.xbar_capacity)
         self.placements: dict[int, Placement] = {}
         self.routes: dict[int, Route] = {}
@@ -301,7 +397,9 @@ class _Attempt:
                 f"II={self.ii}: recurrence cycles cannot absorb the "
                 "labeled slowdowns"
             )
-        for node in self._schedule_order():
+        if self.order is None:
+            self.order = _schedule_order(self.dfg, analyze_dfg(self.dfg))
+        for node in self.order:
             candidate = self._best_candidate(node)
             if candidate is None:
                 raise _AttemptFailed(
@@ -311,30 +409,6 @@ class _Attempt:
                 )
             self._commit(node, candidate)
         return self._finish()
-
-    def _schedule_order(self) -> list[int]:
-        """Topological order, deepest-ready-node first (constants are
-        immediates and never appear)."""
-        heights = height_levels(self.dfg)
-        order = [
-            n for n in topo_order(self.dfg) if n not in self.immediates
-        ]
-        indegree = {n: 0 for n in self.dfg.node_ids()}
-        for _idx, edge in self.edges:
-            if edge.dist == 0:
-                indegree[edge.dst] += 1
-        ready = [n for n in order if indegree[n] == 0]
-        result: list[int] = []
-        while ready:
-            ready.sort(key=lambda n: (-heights[n], n))
-            node = ready.pop(0)
-            result.append(node)
-            for _idx, edge in self._out[node]:
-                if edge.dist == 0:
-                    indegree[edge.dst] -= 1
-                    if indegree[edge.dst] == 0:
-                        ready.append(edge.dst)
-        return result
 
     # -- candidate search ----------------------------------------------------
 
@@ -366,6 +440,7 @@ class _Attempt:
                     continue  # Alg. 2 line 17: never onto a slower island
                 options = [(assigned, False)]
             for level, fresh in options:
+                self.stats.candidates_probed += 1
                 result = self._try_tile(node, tile, level, island)
                 if result is None:
                     continue
@@ -573,6 +648,7 @@ class _Attempt:
                    dst_tile: int, deadline: int, slowdown_of,
                    horizon: int | None = None,
                    ) -> tuple[Route | None, int | None]:
+        self.stats.routes_searched += 1
         found, probe = find_route(self.mrrg, slowdown_of, src_tile, ready,
                                   dst_tile, deadline, horizon=horizon)
         if found is None:
@@ -613,6 +689,7 @@ class _Attempt:
         routes, _latency = routed
         self.routes.update(routes)
         self.placements[node] = Placement(node, tile, t)
+        self.stats.placements_committed += 1
         # Any island a committed route passes through must be powered;
         # unassigned transit islands are pinned to normal (the slowdown
         # the route was timed with).

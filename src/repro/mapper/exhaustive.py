@@ -12,7 +12,7 @@ optimality gap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.arch.cgra import CGRA
 from repro.dfg.analysis import rec_mii, topo_order
@@ -64,7 +64,9 @@ def map_exhaustive(dfg: DFG, cgra: CGRA, max_ii: int = 8,
     stats = SearchStats()
     start_ii = max(rec_mii(dfg),
                    math.ceil(len(mappable) / cgra.num_tiles))
-    config = EngineConfig(dvfs_aware=False, extra_window=4)
+    # single-source defaults; only the search window is widened here
+    config = replace(EngineConfig.for_strategy("exhaustive"),
+                     extra_window=4)
     for ii in range(start_ii, max_ii + 1):
         labels = {n: cgra.dvfs.normal for n in dfg.node_ids()}
         attempt = _Attempt(dfg, cgra, config, ii, labels,

@@ -160,6 +160,9 @@ class Mapping:
             "island_levels": {
                 i: level.name for i, level in self.island_levels.items()
             },
+            "labels": {
+                n: level.name for n, level in self.labels.items()
+            },
         }
 
     @classmethod
@@ -207,6 +210,10 @@ class Mapping:
             island_levels={
                 int(i): level(name)
                 for i, name in data.get("island_levels", {}).items()
+            },
+            labels={
+                int(n): level(name)
+                for n, name in data.get("labels", {}).items()
             },
             strategy=data.get("strategy", "baseline"),
             xbar_capacity=data.get("xbar_capacity", 4),

@@ -20,8 +20,9 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.arch.cgra import CGRA
+from repro.compile import Instrumentation, compile_dfg
 from repro.errors import MappingError, PartitionError
-from repro.mapper.engine import EngineConfig, map_dfg
+from repro.mapper.engine import EngineConfig
 from repro.mapper.mapping import Mapping
 from repro.streaming.app import StreamingApp
 from repro.streaming.stage import KernelStage, StreamInput
@@ -109,8 +110,17 @@ def _snake_island_order(cgra: CGRA) -> list[int]:
 
 
 def _map_on_islands(kernel: KernelStage, cgra: CGRA,
-                    island_ids: tuple[int, ...],
-                    max_ii: int = 32) -> Mapping | None:
+                    island_ids: tuple[int, ...], max_ii: int = 32, *,
+                    use_cache: bool = True,
+                    instrument: Instrumentation | None = None,
+                    ) -> Mapping | None:
+    """Map one kernel restricted to ``island_ids``, through the pipeline.
+
+    ``allowed_tiles`` is part of the mapping cache key, so the table
+    probe for k islands and the final realization on the same k islands
+    share one engine run — and a restricted compile is never served a
+    whole-fabric cached artifact.
+    """
     tiles = frozenset(
         t for isl in island_ids for t in cgra.island(isl).tile_ids
     )
@@ -121,13 +131,17 @@ def _map_on_islands(kernel: KernelStage, cgra: CGRA,
         max_ii=max_ii,
     )
     try:
-        return map_dfg(kernel.dfg, cgra, config)
+        return compile_dfg(kernel.dfg, cgra, "iced", config, refine=False,
+                           use_cache=use_cache,
+                           instrument=instrument).mapping
     except MappingError:
         return None
 
 
 def build_ii_table(app: StreamingApp, cgra: CGRA,
-                   max_islands_per_kernel: int = 4,
+                   max_islands_per_kernel: int = 4, *,
+                   use_cache: bool = True,
+                   instrument: Instrumentation | None = None,
                    ) -> dict[tuple[str, int], int | None]:
     """II of every kernel on 1..N islands (None = unmappable).
 
@@ -140,7 +154,9 @@ def build_ii_table(app: StreamingApp, cgra: CGRA,
     for kernel in app.all_kernels():
         for count in range(1, max_islands_per_kernel + 1):
             probe_islands = tuple(snake[:count])
-            mapping = _map_on_islands(kernel, cgra, probe_islands)
+            mapping = _map_on_islands(kernel, cgra, probe_islands,
+                                      use_cache=use_cache,
+                                      instrument=instrument)
             table[(kernel.name, count)] = mapping.ii if mapping else None
     return table
 
@@ -161,7 +177,9 @@ def _stage_latency(app: StreamingApp, table, allocation: dict[str, int],
 def partition_app(app: StreamingApp, cgra: CGRA,
                   profile_inputs: list[StreamInput],
                   max_islands_per_kernel: int = 4,
-                  ii_table: dict | None = None) -> Partition:
+                  ii_table: dict | None = None, *,
+                  use_cache: bool = True,
+                  instrument: Instrumentation | None = None) -> Partition:
     """Choose and realize the throughput-optimal island composition."""
     kernels = app.all_kernels()
     total_islands = len(cgra.islands)
@@ -171,7 +189,8 @@ def partition_app(app: StreamingApp, cgra: CGRA,
             f"{total_islands} islands (merge kernels first)"
         )
     table = ii_table if ii_table is not None else build_ii_table(
-        app, cgra, max_islands_per_kernel
+        app, cgra, max_islands_per_kernel,
+        use_cache=use_cache, instrument=instrument,
     )
 
     names = [k.name for k in kernels]
@@ -216,7 +235,9 @@ def partition_app(app: StreamingApp, cgra: CGRA,
             count = best_alloc[kernel.name]
             island_ids = tuple(snake[next_island:next_island + count])
             next_island += count
-            mapping = _map_on_islands(kernel, cgra, island_ids)
+            mapping = _map_on_islands(kernel, cgra, island_ids,
+                                      use_cache=use_cache,
+                                      instrument=instrument)
             if mapping is None:
                 raise PartitionError(
                     f"kernel {kernel.name!r} failed to map on its "

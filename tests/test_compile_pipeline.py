@@ -1,0 +1,315 @@
+"""Tests for the unified compile pipeline: determinism, cache
+correctness (hits revalidate and simulate identically to cold
+compiles), fingerprint sensitivity and the instrumentation layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import CGRA
+from repro.compile import (
+    Instrumentation,
+    MappingCache,
+    compile_annealed,
+    compile_dfg,
+    compile_exhaustive,
+    compile_kernel,
+    get_cache,
+    mapping_cache_key,
+    render_report,
+    summarize,
+)
+from repro.dfg import DFGBuilder, Opcode
+from repro.errors import ValidationError
+from repro.kernels import load_kernel
+from repro.mapper.engine import EngineConfig
+from repro.mapper.validation import validate_mapping
+from repro.sim.simulator import simulate_execution
+
+FABRIC = CGRA.build(6, 6, island_shape=(2, 2))
+
+
+def chain_dfg(n: int = 5, name: str = "chain") -> "DFG":
+    b = DFGBuilder(name)
+    prev = b.op(Opcode.LOAD)
+    for _ in range(n - 2):
+        prev = b.op(Opcode.ADD, prev)
+    b.op(Opcode.STORE, prev)
+    return b.build()
+
+
+class TestPipeline:
+    def test_pass_sequence_and_events(self):
+        inst = Instrumentation()
+        result = compile_kernel("fir", FABRIC, "iced",
+                                cache=MappingCache(), instrument=inst)
+        assert [e.pass_name for e in result.events] == [
+            "lower", "analyze", "place_route", "refine_islands",
+            "validate",
+        ]
+        assert result.events is not inst.events
+        assert inst.total_ms() > 0
+        assert result.engine_stats.placements_committed > 0
+        assert result.engine_stats.routes_searched > 0
+
+    def test_matches_direct_mapper_entry_points(self):
+        from repro.mapper import map_baseline, map_dvfs_aware
+
+        dfg = load_kernel("fir")
+        via_pipeline = compile_dfg(dfg, FABRIC, "iced",
+                                   cache=MappingCache()).mapping
+        via_wrapper = map_dvfs_aware(load_kernel("fir"), FABRIC)
+        assert via_pipeline.to_dict() == via_wrapper.to_dict()
+        base = map_baseline(load_kernel("fir"), FABRIC)
+        assert base.strategy == "baseline"
+        assert all(not lv.is_gated for lv in base.tile_levels.values())
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            compile_dfg(chain_dfg(), FABRIC, "turbo")
+
+    def test_bitstream_pass_optional(self):
+        result = compile_kernel("fir", FABRIC, cache=MappingCache(),
+                                want_bitstream=True)
+        assert result.bitstream is not None
+        assert result.events[-1].pass_name == "bitstream"
+        assert result.bitstream.words_used() > 0
+
+
+class TestDeterminism:
+    def test_byte_identical_across_fresh_pipelines(self):
+        """Two cold pipelines must produce byte-identical artifacts."""
+        blobs = []
+        for _ in range(2):
+            cache = MappingCache()
+            result = compile_kernel("fir", FABRIC, "iced", cache=cache)
+            assert not result.cache_hit
+            blobs.append(cache.serialized(result.cache_key))
+        assert blobs[0] is not None
+        assert blobs[0] == blobs[1]
+
+    def test_cache_key_stable_across_equal_fabrics(self):
+        dfg = load_kernel("fir")
+        config = EngineConfig(dvfs_aware=True)
+        key_a = mapping_cache_key(dfg, CGRA.build(6, 6), config, "engine")
+        key_b = mapping_cache_key(load_kernel("fir"), CGRA.build(6, 6),
+                                  config, "engine")
+        assert key_a == key_b
+
+
+class TestCacheCorrectness:
+    def test_hit_revalidates_and_simulates_identically(self):
+        """A cached mapping passes full validation and executes to the
+        same cycle count as the cold compile it replays."""
+        cache = MappingCache()
+        cold = compile_kernel("fir", FABRIC, "iced", cache=cache)
+        warm = compile_kernel("fir", FABRIC, "iced", cache=cache)
+        assert not cold.cache_hit and warm.cache_hit
+        validate_mapping(warm.mapping)  # independent revalidation
+        assert warm.report.ii == cold.report.ii
+        sim_cold = simulate_execution(cold.mapping, 25)
+        sim_warm = simulate_execution(warm.mapping, 25)
+        assert sim_warm.total_cycles == sim_cold.total_cycles
+        assert warm.mapping.to_dict() == cold.mapping.to_dict()
+
+    def test_hit_returns_fresh_instance(self):
+        cache = MappingCache()
+        a = compile_kernel("fir", FABRIC, "iced", cache=cache)
+        b = compile_kernel("fir", FABRIC, "iced", cache=cache)
+        assert b.mapping is not a.mapping
+        assert b.mapping.placements is not a.mapping.placements
+
+    def test_derived_strategies_share_engine_artifact(self):
+        cache = MappingCache()
+        compile_kernel("fir", FABRIC, "baseline", cache=cache)
+        per_tile = compile_kernel("fir", FABRIC, "per_tile_dvfs",
+                                  cache=cache)
+        gated = compile_kernel("fir", FABRIC, "baseline+gating",
+                               cache=cache)
+        assert per_tile.cache_hit and gated.cache_hit
+        assert len(cache) == 1
+        assert per_tile.mapping.strategy == "per_tile_dvfs"
+
+    def test_no_cache_bypasses(self):
+        cache = MappingCache()
+        compile_kernel("fir", FABRIC, "baseline", cache=cache)
+        again = compile_kernel("fir", FABRIC, "baseline", cache=cache,
+                               use_cache=False)
+        assert not again.cache_hit
+        assert cache.stats.hits == 0
+
+    def test_corrupt_artifact_recompiled_cold(self):
+        cache = MappingCache()
+        cold = compile_kernel("fir", FABRIC, "baseline", cache=cache)
+        with cache._lock:
+            cache._entries[cold.cache_key] = '{"kernel": "fir"}'
+        warm = compile_kernel("fir", FABRIC, "baseline", cache=cache)
+        assert not warm.cache_hit
+        assert warm.mapping.to_dict() == cold.mapping.to_dict()
+
+    def test_lru_eviction(self):
+        cache = MappingCache(max_entries=1)
+        a = compile_kernel("fir", FABRIC, "baseline", cache=cache)
+        compile_kernel("relu", FABRIC, "baseline", cache=cache)
+        assert len(cache) == 1
+        assert a.cache_key not in cache
+        assert cache.stats.evictions == 1
+
+    def test_allowed_tiles_respected_in_key(self):
+        """A tile-restricted compile is never served the whole-fabric
+        artifact (and vice versa) — the restriction is in the key."""
+        cache = MappingCache()
+        dfg = chain_dfg()
+        whole = compile_dfg(dfg, FABRIC, "baseline", cache=cache)
+        island = FABRIC.islands[0]
+        restricted_cfg = EngineConfig(
+            allowed_tiles=frozenset(island.tile_ids), max_ii=32,
+        )
+        restricted = compile_dfg(dfg, FABRIC, "baseline",
+                                 restricted_cfg, cache=cache)
+        assert not restricted.cache_hit
+        assert whole.cache_key != restricted.cache_key
+        used = restricted.mapping.tiles_used()
+        assert used <= set(island.tile_ids)
+
+
+class TestFingerprintSensitivity:
+    CONFIG = EngineConfig()
+
+    def key(self, dfg=None, cgra=FABRIC, config=None):
+        return mapping_cache_key(dfg if dfg is not None else chain_dfg(),
+                                 cgra, config or self.CONFIG, "engine")
+
+    def test_dfg_change_changes_key(self):
+        assert self.key(chain_dfg(5)) != self.key(chain_dfg(6))
+
+    def test_fabric_change_changes_key(self):
+        assert self.key(cgra=CGRA.build(6, 6)) != \
+            self.key(cgra=CGRA.build(4, 4))
+        assert self.key(cgra=CGRA.build(6, 6, island_shape=(2, 2))) != \
+            self.key(cgra=CGRA.build(6, 6, island_shape=(3, 3)))
+
+    def test_config_change_changes_key(self):
+        assert self.key(config=EngineConfig(dvfs_aware=True)) != \
+            self.key(config=EngineConfig(dvfs_aware=False))
+        assert self.key(config=EngineConfig(max_ii=16)) != \
+            self.key(config=EngineConfig(max_ii=32))
+
+    @given(
+        n_a=st.integers(min_value=3, max_value=8),
+        n_b=st.integers(min_value=3, max_value=8),
+        opcode=st.sampled_from([Opcode.ADD, Opcode.MUL, Opcode.SUB]),
+        dist=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_structure_determines_key(self, n_a, n_b, opcode, dist):
+        """Equal structures hash equal; any structural difference
+        (length, opcode, dependence distance) changes the key."""
+        def make(n, op, d):
+            b = DFGBuilder("prop")
+            prev = b.op(Opcode.LOAD)
+            for i in range(n):
+                prev = b.op(op if i == 0 else Opcode.ADD, prev)
+            last = b.op(Opcode.STORE, prev)
+            if d:
+                b.edge(last, prev, dist=d)
+            return b.build()
+
+        key_a = self.key(make(n_a, opcode, dist))
+        key_b = self.key(make(n_b, opcode, dist))
+        twin = self.key(make(n_a, opcode, dist))
+        assert key_a == twin
+        if n_a != n_b:
+            assert key_a != key_b
+        assert key_a != self.key(make(n_a, opcode, dist + 1))
+        if opcode is not Opcode.ADD:
+            assert key_a != self.key(make(n_a, Opcode.ADD, dist))
+
+
+class TestSeededSearches:
+    def test_annealed_seed_comes_from_cache(self):
+        cache = MappingCache()
+        dfg = load_kernel("fir")
+        base, refined = compile_annealed(dfg, FABRIC, moves=50,
+                                         cache=cache)
+        assert not base.cache_hit
+        assert refined.cache_hit  # anneal reuses the baseline artifact
+        assert refined.anneal_stats is not None
+        assert refined.mapping.ii == base.mapping.ii
+        validate_mapping(refined.mapping)
+        # a second sweep with a different seed re-uses the same artifact
+        _, again = compile_annealed(dfg, FABRIC, moves=50, seed=7,
+                                    cache=cache)
+        assert again.cache_hit
+
+    def test_exhaustive_bounded_by_cached_heuristic(self):
+        b = DFGBuilder("diamond")
+        ld = b.op(Opcode.LOAD)
+        left = b.op(Opcode.ADD, ld)
+        right = b.op(Opcode.MUL, ld)
+        join = b.op(Opcode.SUB, left, right)
+        b.op(Opcode.STORE, join)
+        dfg = b.build()
+        fabric = CGRA.build(3, 3, island_shape=(3, 3))
+        cache = MappingCache()
+        heuristic = compile_dfg(dfg, fabric, "baseline", cache=cache)
+        mapping, stats = compile_exhaustive(dfg, fabric, cache=cache)
+        validate_mapping(mapping)
+        assert mapping.ii <= heuristic.mapping.ii
+        assert stats.probes > 0
+        assert cache.stats.hits >= 1  # the heuristic bound came cached
+
+
+class TestInstrumentationReport:
+    def test_summarize_aggregates_per_pass(self):
+        inst = Instrumentation()
+        cache = MappingCache()
+        for _ in range(2):
+            compile_kernel("relu", FABRIC, "baseline", cache=cache,
+                           instrument=inst)
+        summary = summarize(inst.events)
+        assert summary["place_route"]["calls"] == 2
+        assert summary["place_route"]["cache_hit"] == 1
+        assert summary["analyze"]["calls"] == 2
+
+    def test_render_report_mentions_passes_and_hit_rate(self):
+        inst = Instrumentation()
+        cache = MappingCache()
+        compile_kernel("relu", FABRIC, "iced", cache=cache,
+                       instrument=inst)
+        compile_kernel("relu", FABRIC, "iced", cache=cache,
+                       instrument=inst)
+        text = render_report(inst.events, cache.stats_dict())
+        assert "place_route" in text
+        assert "refine_islands" in text
+        assert "50% hit rate" in text
+
+    def test_render_report_empty(self):
+        assert "no compile passes" in render_report([])
+
+
+class TestSweepHitRate:
+    def test_repeated_figure_sweep_mostly_hits(self):
+        """A repeated Fig 9-style sweep is served from cache: the
+        second pass over (kernels x strategies) must exceed a 50% hit
+        rate (acceptance criterion of the pipeline refactor)."""
+        cache = MappingCache()
+        kernels = ("fir", "relu", "histogram")
+        strategies = ("baseline", "per_tile_dvfs", "iced")
+        for _ in range(2):
+            for name in kernels:
+                for strategy in strategies:
+                    compile_kernel(name, FABRIC, strategy, cache=cache)
+        assert cache.stats.hit_rate() > 0.5
+        # engine ran once per (kernel, engine-flavour): baseline and
+        # per-tile share one artifact, iced has its own
+        assert cache.stats.stores == len(kernels) * 2
+
+    def test_global_cache_is_shared_default(self):
+        before = len(get_cache())
+        result = compile_kernel("fir", FABRIC, "iced")
+        again = compile_kernel("fir", FABRIC, "iced")
+        assert again.cache_hit
+        assert result.cache_key in get_cache()
+        assert len(get_cache()) >= before
