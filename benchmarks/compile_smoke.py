@@ -1,55 +1,97 @@
 """Compile-time smoke check for CI.
 
-Maps the 10 standalone Table I kernels twice through the unified
-pipeline on a fresh mapping cache and asserts the second (fully cached)
-sweep is at least MIN_SPEEDUP x faster than the cold one. Per-pass
-timings, per-kernel wall times and cache statistics are written to
-``BENCH_compile.json`` so compile-time regressions show up as artifact
-diffs.
+Three sweeps of the 10 standalone Table I kernels through the
+:class:`~repro.compile.SweepExecutor`:
+
+1. **cold serial** — ``--jobs 1`` against a fresh on-disk cache;
+2. **cold parallel** — ``--jobs N`` against another fresh cache;
+3. **warm** — a fresh executor (fresh memory cache, simulating a fresh
+   process) over the parallel run's disk cache.
+
+Asserted invariants:
+
+* the parallel sweep's mappings are byte-identical to the serial ones
+  (the executor's determinism contract);
+* the warm sweep is >= MIN_WARM_SPEEDUP x faster than cold serial and
+  serves every kernel from the disk cache;
+* with >= 2 effective cores (``min(jobs, cpus)``), the cold parallel
+  sweep is >= MIN_PARALLEL_SPEEDUP x faster than cold serial. On a
+  single-core runner the timing is still recorded, but the assertion
+  is vacuous — there is no parallelism to measure.
+
+Per-pass timings, per-kernel details and cache statistics are written
+to ``BENCH_compile.json`` so compile-time regressions show up as
+artifact diffs.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/compile_smoke.py [--out FILE]
+    PYTHONPATH=src python benchmarks/compile_smoke.py [--jobs N] [--out FILE]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 
 from repro.arch.cgra import CGRA
 from repro.compile import (
+    DiskCache,
     Instrumentation,
-    MappingCache,
-    compile_kernel,
+    SweepExecutor,
+    SweepItem,
+    default_jobs,
     render_report,
     summarize,
 )
 from repro.kernels.table1 import STANDALONE_KERNELS
 
-MIN_SPEEDUP = 5.0
+MIN_WARM_SPEEDUP = 5.0
+MIN_PARALLEL_SPEEDUP = 2.0
 STRATEGY = "iced"
 
 
-def run_sweep(cache: MappingCache, instrument: Instrumentation,
-              kernels: tuple[str, ...], cgra: CGRA) -> dict:
-    """One full sweep; returns wall time and per-kernel detail."""
-    per_kernel = {}
-    start = time.perf_counter()
-    for name in kernels:
-        k_start = time.perf_counter()
-        result = compile_kernel(name, cgra, STRATEGY, cache=cache,
-                                instrument=instrument)
-        per_kernel[name] = {
-            "wall_ms": round((time.perf_counter() - k_start) * 1000, 3),
-            "ii": result.mapping.ii,
-            "cache_hit": result.cache_hit,
-        }
+def _effective_cores(jobs: int) -> int:
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count() or 1
+    return min(jobs, cpus)
+
+
+def _blobs(outcomes) -> dict[str, str]:
+    """Canonical mapping JSON per kernel — the bit-identity evidence."""
     return {
-        "wall_s": time.perf_counter() - start,
-        "kernels": per_kernel,
+        o.item.name: json.dumps(o.result.mapping.to_dict(),
+                                sort_keys=True, separators=(",", ":"))
+        for o in outcomes
+    }
+
+
+def run_sweep(jobs: int, cache_dir: str, instrument: Instrumentation,
+              kernels: tuple[str, ...], cgra: CGRA) -> dict:
+    """One full sweep through the executor; returns timing + outcomes."""
+    executor = SweepExecutor(jobs=jobs, cache_dir=cache_dir,
+                             instrument=instrument)
+    items = [SweepItem(kernel=name, strategy=STRATEGY) for name in kernels]
+    start = time.perf_counter()
+    outcomes = executor.run(items, cgra)
+    wall_s = time.perf_counter() - start
+    for outcome in outcomes:
+        outcome.mapping  # re-raise any MappingError: smoke must map all
+    return {
+        "wall_s": wall_s,
+        "outcomes": outcomes,
+        "blobs": _blobs(outcomes),
+        "kernels": {
+            o.item.name: {"ii": o.result.mapping.ii,
+                          "cache_hit": o.result.cache_hit}
+            for o in outcomes
+        },
+        "cache": executor.cache.stats_dict(),
     }
 
 
@@ -57,46 +99,86 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_compile.json")
     parser.add_argument("--size", type=int, default=6)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="workers for the parallel sweep "
+                             "(default: all usable cores)")
     args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    jobs = max(2, jobs)  # the parallel phase must actually fan out
+    effective = _effective_cores(jobs)
 
     cgra = CGRA.build(args.size, args.size)
-    cache = MappingCache()
     instrument = Instrumentation()
 
-    cold = run_sweep(cache, instrument, STANDALONE_KERNELS, cgra)
-    warm = run_sweep(cache, instrument, STANDALONE_KERNELS, cgra)
-    speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        serial_dir = os.path.join(tmp, "serial")
+        parallel_dir = os.path.join(tmp, "parallel")
+
+        cold = run_sweep(1, serial_dir, instrument,
+                         STANDALONE_KERNELS, cgra)
+        parallel = run_sweep(jobs, parallel_dir, instrument,
+                             STANDALONE_KERNELS, cgra)
+        # Fresh executor + memory cache over the parallel run's disk
+        # tree: exactly what a fresh process sees on a warm cache.
+        warm = run_sweep(1, parallel_dir, instrument,
+                         STANDALONE_KERNELS, cgra)
+        disk_entries = len(DiskCache(parallel_dir))
+
+    warm_speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
+    parallel_speedup = cold["wall_s"] / max(parallel["wall_s"], 1e-9)
+    identical = cold["blobs"] == parallel["blobs"]
 
     payload = {
         "strategy": STRATEGY,
         "fabric": f"{args.size}x{args.size}",
+        "jobs": jobs,
+        "effective_cores": effective,
         "cold_sweep_s": round(cold["wall_s"], 3),
+        "parallel_cold_s": round(parallel["wall_s"], 3),
         "warm_sweep_s": round(warm["wall_s"], 3),
-        "speedup": round(speedup, 1),
-        "min_speedup": MIN_SPEEDUP,
-        "cache": cache.stats_dict(),
+        "speedup": round(warm_speedup, 1),
+        "parallel_speedup": round(parallel_speedup, 2),
+        "min_speedup": MIN_WARM_SPEEDUP,
+        "min_parallel_speedup": MIN_PARALLEL_SPEEDUP,
+        "serial_parallel_identical": identical,
+        "disk_entries": disk_entries,
+        "cache": warm["cache"],
         "passes": {
             name: {k: round(v, 3) for k, v in row.items()}
             for name, row in summarize(instrument.events).items()
         },
         "cold": cold["kernels"],
+        "parallel": parallel["kernels"],
         "warm": warm["kernels"],
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
 
-    print(render_report(instrument.events, cache.stats_dict()))
-    print(f"\ncold sweep {cold['wall_s']:.2f}s, warm sweep "
-          f"{warm['wall_s']:.3f}s -> {speedup:.0f}x ({args.out})")
+    print(render_report(instrument.events, warm["cache"]))
+    print(f"\ncold serial {cold['wall_s']:.2f}s, cold --jobs {jobs} "
+          f"{parallel['wall_s']:.2f}s ({parallel_speedup:.1f}x, "
+          f"{effective} effective cores), warm {warm['wall_s']:.3f}s "
+          f"-> {warm_speedup:.0f}x ({args.out})")
 
+    if not identical:
+        diff = [n for n in cold["blobs"]
+                if cold["blobs"][n] != parallel["blobs"][n]]
+        print(f"FAIL: parallel mappings differ from serial on {diff}",
+              file=sys.stderr)
+        return 1
     misses = [n for n, k in warm["kernels"].items() if not k["cache_hit"]]
     if misses:
         print(f"FAIL: warm sweep missed the cache on {misses}",
               file=sys.stderr)
         return 1
-    if speedup < MIN_SPEEDUP:
-        print(f"FAIL: cached sweep only {speedup:.1f}x faster "
-              f"(need >= {MIN_SPEEDUP}x)", file=sys.stderr)
+    if warm_speedup < MIN_WARM_SPEEDUP:
+        print(f"FAIL: warm sweep only {warm_speedup:.1f}x faster "
+              f"(need >= {MIN_WARM_SPEEDUP}x)", file=sys.stderr)
+        return 1
+    if effective >= 2 and parallel_speedup < MIN_PARALLEL_SPEEDUP:
+        print(f"FAIL: --jobs {jobs} sweep only {parallel_speedup:.1f}x "
+              f"faster than serial on {effective} cores "
+              f"(need >= {MIN_PARALLEL_SPEEDUP}x)", file=sys.stderr)
         return 1
     return 0
 

@@ -5,8 +5,9 @@ Usage::
     python -m repro kernels                       # list Table I
     python -m repro fabric --cgra 8x8 --island 2x2
     python -m repro map fir --strategy iced --show schedule,levels
-    python -m repro stream gcn --inputs 80
-    python -m repro experiments fig9              # same as -m repro.experiments
+    python -m repro stream gcn --inputs 80 --jobs 4
+    python -m repro experiments fig9 --jobs 4     # same as -m repro.experiments
+    python -m repro cache stats                   # on-disk mapping cache
 """
 
 from __future__ import annotations
@@ -119,7 +120,9 @@ def cmd_stream(args) -> int:
     instrument = Instrumentation()
     partition = partition_app(app, fabric, profile,
                               use_cache=not args.no_cache,
-                              instrument=instrument)
+                              instrument=instrument,
+                              jobs=args.jobs,
+                              cache_dir=args.cache_dir)
     print(partition.summary())
     iced = simulate_stream(partition, run, window=args.window)
     drips = simulate_drips(partition, run, window=args.window)
@@ -139,7 +142,32 @@ def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
     argv = [args.experiment] + (["--json"] if args.json else [])
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
     return experiments_main(argv)
+
+
+def cmd_cache(args) -> int:
+    from repro.compile import DiskCache, default_cache_root
+
+    root = args.dir or default_cache_root()
+    cache = DiskCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"{root}: removed {removed} artifacts")
+    elif args.action == "gc":
+        max_age_s = (args.max_age_days * 86400.0
+                     if args.max_age_days is not None else None)
+        removed = cache.gc(max_entries=args.max_entries,
+                           max_age_s=max_age_s)
+        print(f"{root}: evicted {removed} artifacts")
+    stats = cache.stats_dict()
+    width = max(len(k) for k in stats)
+    for key, value in stats.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -179,12 +207,33 @@ def main(argv: list[str] | None = None) -> int:
                         help="print per-pass compile timings")
     stream.add_argument("--no-cache", action="store_true",
                         help="bypass the mapping cache")
+    stream.add_argument("--jobs", type=int, default=1,
+                        help="processes for the II-table probes")
+    stream.add_argument("--cache-dir", default=None,
+                        help="persistent on-disk mapping cache directory")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate a table/figure"
     )
     experiments.add_argument("experiment")
     experiments.add_argument("--json", action="store_true")
+    experiments.add_argument("--jobs", type=int, default=1,
+                             help="processes for the strategy sweeps")
+    experiments.add_argument("--cache-dir", default=None,
+                             help="persistent on-disk mapping cache "
+                                  "directory")
+
+    cache = sub.add_parser(
+        "cache", help="inspect the persistent on-disk mapping cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "gc"))
+    cache.add_argument("--dir", default=None,
+                       help="cache directory (default: .repro-cache or "
+                            "$REPRO_CACHE_DIR)")
+    cache.add_argument("--max-entries", type=int, default=None,
+                       help="gc: keep at most this many artifacts")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="gc: drop artifacts older than this")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -193,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
         "map": cmd_map,
         "stream": cmd_stream,
         "experiments": cmd_experiments,
+        "cache": cmd_cache,
     }
     return handlers[args.command](args)
 

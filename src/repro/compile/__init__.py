@@ -12,6 +12,13 @@ from repro.compile.cache import (
     MappingCache,
     get_cache,
 )
+from repro.compile.diskcache import (
+    SCHEMA_VERSION,
+    DiskCache,
+    DiskCacheStats,
+    TieredCache,
+    default_cache_root,
+)
 from repro.compile.fingerprint import (
     KEY_VERSION,
     cgra_fingerprint,
@@ -24,6 +31,12 @@ from repro.compile.instrument import (
     PassEvent,
     render_report,
     summarize,
+)
+from repro.compile.parallel import (
+    SweepExecutor,
+    SweepItem,
+    SweepOutcome,
+    default_jobs,
 )
 from repro.compile.pipeline import (
     KNOWN_STRATEGIES,
@@ -40,18 +53,27 @@ from repro.compile.pipeline import (
 __all__ = [
     "KEY_VERSION",
     "KNOWN_STRATEGIES",
+    "SCHEMA_VERSION",
     "CacheStats",
     "CompileContext",
     "CompileResult",
+    "DiskCache",
+    "DiskCacheStats",
     "Instrumentation",
     "MappingCache",
     "PassEvent",
+    "SweepExecutor",
+    "SweepItem",
+    "SweepOutcome",
+    "TieredCache",
     "cgra_fingerprint",
     "compile_annealed",
     "compile_dfg",
     "compile_exhaustive",
     "compile_kernel",
     "config_fingerprint",
+    "default_cache_root",
+    "default_jobs",
     "dfg_fingerprint",
     "get_cache",
     "mapping_cache_key",

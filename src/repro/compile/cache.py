@@ -81,6 +81,11 @@ class MappingCache:
     def store(self, key: str, mapping: Mapping) -> None:
         blob = json.dumps(mapping.to_dict(), sort_keys=True,
                           separators=(",", ":"))
+        self.store_serialized(key, blob)
+
+    def store_serialized(self, key: str, blob: str) -> None:
+        """Insert a pre-serialized canonical artifact (promotion from a
+        disk tier or a pool worker's returned blob)."""
         with self._lock:
             self._entries[key] = blob
             self._entries.move_to_end(key)

@@ -1,0 +1,358 @@
+"""The persistent on-disk mapping cache.
+
+The in-memory :class:`~repro.compile.cache.MappingCache` dies with its
+process; figure sweeps and CI jobs recompile everything from scratch on
+every invocation. This module adds the layer below it: a directory of
+JSON artifacts keyed by the same SHA-256 fingerprints, so a *fresh
+process* (or a pool worker) can rehydrate mappings its predecessors
+compiled.
+
+Design rules, in order of importance:
+
+* **never serve garbage** — every artifact carries a schema tag, its
+  own key and the kernel name; anything that fails to parse or
+  disagrees with its envelope is *quarantined* (moved aside, counted,
+  reported) and treated as a miss, never raised to the compile;
+* **never tear** — writers dump to a private temp file in the artifact's
+  directory and publish with :func:`os.replace`, which is atomic on
+  POSIX and Windows, so concurrent writers (pool workers racing on the
+  same key) can interleave freely: readers see either a complete old
+  artifact or a complete new one;
+* **byte-stability** — artifacts are canonical JSON (sorted keys,
+  compact separators) of :meth:`Mapping.to_dict`, exactly like the
+  memory cache's blobs, so save -> load -> save is byte-identical and
+  the determinism tests can compare files across processes.
+
+:class:`TieredCache` stacks the memory cache in front of a
+:class:`DiskCache` behind the same ``lookup``/``store`` protocol the
+pipeline's ``place_route`` pass speaks, so any entry point can be
+pointed at the tiered store without code changes.
+
+Layout on disk (``SCHEMA_VERSION`` bumps orphan old trees wholesale)::
+
+    .repro-cache/
+      v1/
+        ab/abcdef....json      # artifact, sharded by key prefix
+        ...
+      quarantine/              # corrupt artifacts, moved aside
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.arch.cgra import CGRA
+from repro.compile.cache import MappingCache
+from repro.dfg.graph import DFG
+from repro.mapper.mapping import Mapping
+
+#: Bump when the artifact envelope changes incompatibly; old version
+#: directories are simply ignored (and reclaimed by ``gc``/``clear``).
+SCHEMA_VERSION = 1
+
+#: Default cache root, relative to the working directory.
+DEFAULT_ROOT = ".repro-cache"
+
+#: Environment override for the cache root (CLI and CI use it).
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> str:
+    """The cache root the CLIs default to: ``$REPRO_CACHE_DIR`` or
+    ``.repro-cache`` under the current directory."""
+    return os.environ.get(ENV_CACHE_DIR) or DEFAULT_ROOT
+
+
+@dataclass
+class DiskCacheStats:
+    """Hit/miss/housekeeping accounting of one :class:`DiskCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    quarantined: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "quarantined": self.quarantined,
+            "evictions": self.evictions,
+        }
+
+
+class DiskCache:
+    """Content-addressed mapping artifacts persisted under ``root``.
+
+    Speaks the same ``lookup(key, dfg, cgra)`` / ``store(key, mapping)``
+    protocol as :class:`~repro.compile.cache.MappingCache`, so the
+    pipeline can use either interchangeably. All failure modes on the
+    read path degrade to a miss.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else Path(default_cache_root())
+        self.version_dir = self.root / f"v{SCHEMA_VERSION}"
+        self.quarantine_dir = self.root / "quarantine"
+        self.stats = DiskCacheStats()
+
+    # -- paths --------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.version_dir / key[:2] / f"{key}.json"
+
+    def artifact_paths(self) -> list[Path]:
+        """Every artifact file currently on disk, sorted by name."""
+        if not self.version_dir.is_dir():
+            return []
+        return sorted(self.version_dir.glob("*/*.json"))
+
+    # -- read path ----------------------------------------------------------
+
+    def load_blob(self, key: str) -> str | None:
+        """The canonical mapping JSON under ``key``; ``None`` on miss.
+
+        Any artifact that fails to parse or whose envelope disagrees
+        with ``key`` is quarantined and reported as a miss.
+        """
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(data.decode("utf-8"))
+            if not isinstance(envelope, dict):
+                raise ValueError("artifact is not a JSON object")
+            if envelope.get("schema") != SCHEMA_VERSION:
+                raise ValueError("schema tag mismatch")
+            if envelope.get("key") != key:
+                raise ValueError("key mismatch (misfiled artifact)")
+            mapping_dict = envelope["mapping"]
+            if not isinstance(mapping_dict, dict):
+                raise ValueError("mapping payload is not an object")
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return json.dumps(mapping_dict, sort_keys=True,
+                          separators=(",", ":"))
+
+    def lookup(self, key: str, dfg: DFG, cgra: CGRA) -> Mapping | None:
+        """Rehydrate the artifact under ``key``; ``None`` on miss.
+
+        A blob that parses but does not revalidate against the caller's
+        DFG/fabric (e.g. a kernel-name mismatch) is quarantined too: it
+        can never become servable again under this key.
+        """
+        blob = self.load_blob(key)
+        if blob is None:
+            return None
+        try:
+            return Mapping.from_dict(json.loads(blob), dfg, cgra)
+        except Exception:
+            self._quarantine(self._path(key))
+            self.stats.hits -= 1
+            self.stats.misses += 1
+            return None
+
+    # -- write path ---------------------------------------------------------
+
+    def store(self, key: str, mapping: Mapping) -> None:
+        blob = json.dumps(mapping.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        self.store_serialized(key, blob, kernel=mapping.dfg.name)
+
+    def store_serialized(self, key: str, blob: str,
+                         kernel: str = "") -> None:
+        """Publish a pre-serialized canonical mapping blob atomically."""
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "kernel": kernel or json.loads(blob).get("kernel", ""),
+            "mapping": json.loads(blob),
+        }
+        payload = json.dumps(envelope, sort_keys=True,
+                             separators=(",", ":"))
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Private temp name (pid + monotonic ns) in the same directory,
+        # then an atomic rename: a concurrent reader sees old-or-new,
+        # never a prefix; a concurrent writer's replace simply wins.
+        tmp = path.parent / f".{key}.{os.getpid()}.{time.monotonic_ns()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # replace failed midway: don't leak temps
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self.stats.stores += 1
+
+    # -- housekeeping -------------------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt artifact aside (best effort, never raises)."""
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = self.quarantine_dir / (
+                f"{path.name}.{os.getpid()}.{time.monotonic_ns()}.bad"
+            )
+            os.replace(path, target)
+            self.stats.quarantined += 1
+        except OSError:
+            pass
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        return len(self.artifact_paths())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.artifact_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def quarantined_count(self) -> int:
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.quarantine_dir.iterdir())
+
+    def clear(self) -> int:
+        """Delete every artifact (and the quarantine); returns count."""
+        removed = 0
+        for path in self.artifact_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.quarantine_dir.is_dir():
+            for path in list(self.quarantine_dir.iterdir()):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    def gc(self, max_entries: int | None = None,
+           max_age_s: float | None = None) -> int:
+        """Evict artifacts least-recently-*written* first.
+
+        ``max_age_s`` drops anything older than the horizon;
+        ``max_entries`` then trims the survivors to the newest N. The
+        eviction policy is mtime-ordered (writes refresh an artifact's
+        clock via the atomic replace), which for a content-addressed
+        store is the honest notion of "still in use": sweeps re-store on
+        every miss and leave hits untouched.
+        """
+        paths = self.artifact_paths()
+        stamped = []
+        for path in paths:
+            try:
+                stamped.append((path.stat().st_mtime, path))
+            except OSError:
+                continue
+        stamped.sort()  # oldest first
+        doomed: list[Path] = []
+        if max_age_s is not None:
+            horizon = time.time() - max_age_s
+            doomed.extend(p for mtime, p in stamped if mtime < horizon)
+        if max_entries is not None:
+            survivors = [p for _, p in stamped if p not in set(doomed)]
+            if len(survivors) > max_entries:
+                doomed.extend(survivors[: len(survivors) - max_entries])
+        removed = 0
+        for path in doomed:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.evictions += removed
+        return removed
+
+    def stats_dict(self) -> dict[str, int]:
+        d = self.stats.to_dict()
+        d["entries"] = len(self)
+        d["bytes"] = self.size_bytes()
+        d["quarantine_files"] = self.quarantined_count()
+        return d
+
+
+@dataclass
+class TieredCache:
+    """Memory cache in front, disk cache behind, one protocol.
+
+    ``lookup`` promotes disk hits into the memory tier so repeated
+    intra-process compiles skip the filesystem; ``store`` writes
+    through to both tiers. Safe to share across threads (each tier is
+    independently safe; the composition adds no shared state).
+    """
+
+    memory: MappingCache = field(default_factory=MappingCache)
+    disk: DiskCache = field(default_factory=DiskCache)
+
+    def lookup(self, key: str, dfg: DFG, cgra: CGRA) -> Mapping | None:
+        hit = self.memory.lookup(key, dfg, cgra)
+        if hit is not None:
+            return hit
+        blob = self.disk.load_blob(key)
+        if blob is None:
+            return None
+        try:
+            mapping = Mapping.from_dict(json.loads(blob), dfg, cgra)
+        except Exception:
+            return None
+        self.memory.store_serialized(key, blob)
+        return mapping
+
+    def store(self, key: str, mapping: Mapping) -> None:
+        self.memory.store(key, mapping)
+        blob = self.memory.serialized(key)
+        if blob is not None:
+            self.disk.store_serialized(key, blob, kernel=mapping.dfg.name)
+
+    def store_serialized(self, key: str, blob: str,
+                         kernel: str = "") -> None:
+        self.memory.store_serialized(key, blob)
+        self.disk.store_serialized(key, blob, kernel=kernel)
+
+    def serialized(self, key: str) -> str | None:
+        blob = self.memory.serialized(key)
+        if blob is not None:
+            return blob
+        return self.disk.load_blob(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.memory or key in self.disk
+
+    def stats_dict(self) -> dict[str, int]:
+        d = {f"memory_{k}": v for k, v in self.memory.stats_dict().items()}
+        d.update(
+            {f"disk_{k}": v for k, v in self.disk.stats_dict().items()}
+        )
+        # The headline numbers --stats reports: a tier-crossing lookup
+        # counts as one logical hit/miss.
+        d["hits"] = self.memory.stats.hits + self.disk.stats.hits
+        d["misses"] = self.disk.stats.misses
+        d["entries"] = d["disk_entries"]
+        return d

@@ -1,0 +1,307 @@
+"""Parallel sweep execution over a process pool.
+
+CGRA mapping experiments are embarrassingly parallel: a figure sweep is
+a list of independent (kernel, strategy, unroll) compiles, each
+seconds-long and CPU-bound. :class:`SweepExecutor` fans such a work
+list out across a ``ProcessPoolExecutor`` and merges the results back
+**deterministically**:
+
+* results come back in work-list order, never completion order;
+* per-item seeds are derived in the *parent* from (sweep seed, item
+  index) via :func:`repro.utils.rng.derive_worker_seed`, so a
+  ``--jobs N`` sweep is bit-identical to ``--jobs 1`` no matter how
+  items land on workers;
+* every worker's :class:`PassEvent` stream is carried home and merged
+  into the parent's :class:`Instrumentation` in item order, so the
+  ``--stats`` table of a parallel sweep aggregates exactly the passes
+  that ran, wherever they ran;
+* workers share one :class:`~repro.compile.diskcache.DiskCache`
+  directory (when configured), so a warm sweep — even from a fresh
+  process — rehydrates artifacts instead of recompiling, and the
+  parent promotes each worker's engine artifact into its own cache.
+
+Workers return *serialized* mappings (the cache's canonical JSON), not
+live objects; the parent rehydrates against its own DFG/fabric
+instances and **re-validates every artifact** before handing it out —
+a parallel result is held to exactly the cache-hit standard.
+
+``MappingError`` is the one expected per-item failure (a kernel too
+large for its fabric); it is captured per outcome so sweeps with
+``skip_unmappable`` semantics keep working. Any other exception
+propagates: a crash is a bug, not a data point.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.arch.cgra import CGRA
+from repro.compile.cache import MappingCache
+from repro.compile.diskcache import DiskCache, TieredCache
+from repro.compile.instrument import Instrumentation, PassEvent
+from repro.compile.pipeline import CompileResult, compile_dfg, compile_kernel
+from repro.dfg.graph import DFG
+from repro.errors import MappingError
+from repro.mapper.engine import EngineConfig
+from repro.mapper.mapping import Mapping
+from repro.mapper.validation import validate_mapping
+from repro.utils.rng import derive_worker_seed
+
+#: Environment override for the default worker count.
+ENV_JOBS = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` if set, else the number of usable cores."""
+    env = os.environ.get(ENV_JOBS)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class SweepItem:
+    """One declarative, picklable compile work item.
+
+    Either ``kernel`` (a Table I name, lowered in the worker) or
+    ``dfg`` (an explicit graph, e.g. a streaming kernel) names the
+    input; ``seed=None`` means "derive from the sweep seed + my index"
+    (the reproducible default for stochastic strategies like anneal).
+    """
+
+    kernel: str = ""
+    dfg: DFG | None = None
+    unroll: int = 1
+    strategy: str = "iced"
+    config: EngineConfig | None = None
+    refine: bool = True
+    anneal_moves: int = 800
+    seed: int | None = None
+    tag: str = ""
+
+    def __post_init__(self):
+        if bool(self.kernel) == (self.dfg is not None):
+            raise ValueError(
+                "a SweepItem names exactly one of kernel= or dfg="
+            )
+
+    @property
+    def name(self) -> str:
+        return self.kernel or self.dfg.name
+
+
+@dataclass
+class SweepOutcome:
+    """One work item's result, in deterministic work-list order."""
+
+    index: int
+    item: SweepItem
+    result: CompileResult | None = None
+    error: MappingError | None = None
+    worker_pid: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def mapping(self) -> Mapping:
+        if self.error is not None:
+            raise self.error
+        return self.result.mapping
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Built once per worker by the pool initializer.
+_WORKER_CACHE: MappingCache | TieredCache | None = None
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    global _WORKER_CACHE
+    memory = MappingCache()
+    _WORKER_CACHE = (
+        TieredCache(memory, DiskCache(cache_dir)) if cache_dir else memory
+    )
+
+
+def _compile_item(payload: tuple) -> tuple:
+    """Compile one item; returns only picklable, order-independent data."""
+    index, item, cgra = payload
+    cache = _WORKER_CACHE if _WORKER_CACHE is not None else MappingCache()
+    instrument = Instrumentation()
+    try:
+        if item.dfg is not None:
+            result = compile_dfg(
+                item.dfg, cgra, item.strategy, item.config,
+                refine=item.refine, anneal_moves=item.anneal_moves,
+                seed=item.seed or 0, cache=cache, instrument=instrument,
+            )
+        else:
+            result = compile_kernel(
+                item.kernel, cgra, item.strategy, item.config,
+                unroll=item.unroll, refine=item.refine,
+                anneal_moves=item.anneal_moves, seed=item.seed or 0,
+                cache=cache, instrument=instrument,
+            )
+    except MappingError as exc:
+        return (index, None, None, "", False, instrument.to_dicts(),
+                (str(exc), exc.last_ii), os.getpid())
+    blob = json.dumps(result.mapping.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+    engine_blob = cache.serialized(result.cache_key)
+    return (index, blob, engine_blob, result.cache_key, result.cache_hit,
+            instrument.to_dicts(), None, os.getpid())
+
+
+# -- parent side -------------------------------------------------------------
+
+
+@dataclass
+class SweepExecutor:
+    """Deterministic fan-out of compile work items across processes.
+
+    ``jobs=1`` runs inline (no pool, no pickling) through exactly the
+    same code path the experiment harnesses always used — the parallel
+    path must reproduce its results bit for bit. ``cache_dir`` points
+    workers *and* the parent at one shared on-disk artifact store.
+    """
+
+    jobs: int = 1
+    cache: object | None = None
+    cache_dir: str | None = None
+    seed: int = 0
+    instrument: Instrumentation | None = None
+    mp_context: str | None = None
+    _outcomes: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self.jobs = max(1, int(self.jobs))
+        self.instrument = self.instrument or Instrumentation()
+        if self.cache is None:
+            memory = MappingCache()
+            self.cache = (
+                TieredCache(memory, DiskCache(self.cache_dir))
+                if self.cache_dir else memory
+            )
+
+    def run(self, items, cgra: CGRA) -> list[SweepOutcome]:
+        """Compile every item; outcomes come back in work-list order."""
+        seeded = [
+            item if item.seed is not None
+            else replace(item, seed=derive_worker_seed(self.seed, i))
+            for i, item in enumerate(items)
+        ]
+        if self.jobs == 1 or len(seeded) <= 1:
+            return [
+                self._run_inline(i, item, cgra)
+                for i, item in enumerate(seeded)
+            ]
+        return self._run_pool(seeded, cgra)
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_inline(self, index: int, item: SweepItem,
+                    cgra: CGRA) -> SweepOutcome:
+        try:
+            if item.dfg is not None:
+                result = compile_dfg(
+                    item.dfg, cgra, item.strategy, item.config,
+                    refine=item.refine, anneal_moves=item.anneal_moves,
+                    seed=item.seed or 0, cache=self.cache,
+                    instrument=self.instrument,
+                )
+            else:
+                result = compile_kernel(
+                    item.kernel, cgra, item.strategy, item.config,
+                    unroll=item.unroll, refine=item.refine,
+                    anneal_moves=item.anneal_moves, seed=item.seed or 0,
+                    cache=self.cache, instrument=self.instrument,
+                )
+        except MappingError as exc:
+            return SweepOutcome(index, item, error=exc,
+                                worker_pid=os.getpid())
+        return SweepOutcome(index, item, result=result,
+                            worker_pid=os.getpid())
+
+    # -- pool path ----------------------------------------------------------
+
+    def _pool_context(self):
+        if self.mp_context:
+            return multiprocessing.get_context(self.mp_context)
+        methods = multiprocessing.get_all_start_methods()
+        # fork reuses the parent's loaded modules — pool start-up is
+        # milliseconds instead of a fresh interpreter + numpy import.
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def _run_pool(self, items: list[SweepItem],
+                  cgra: CGRA) -> list[SweepOutcome]:
+        raw: list[tuple | None] = [None] * len(items)
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(items)),
+            mp_context=self._pool_context(),
+            initializer=_worker_init,
+            initargs=(self.cache_dir,),
+        ) as pool:
+            futures = [
+                pool.submit(_compile_item, (i, item, cgra))
+                for i, item in enumerate(items)
+            ]
+            for future in futures:
+                tup = future.result()  # re-raises worker crashes
+                raw[tup[0]] = tup
+        return [
+            self._merge(tup, items[i], cgra) for i, tup in enumerate(raw)
+        ]
+
+    def _merge(self, tup: tuple, item: SweepItem,
+               cgra: CGRA) -> SweepOutcome:
+        """Rehydrate, re-validate and account one worker result."""
+        (index, blob, engine_blob, cache_key, cache_hit, event_dicts,
+         error, pid) = tup
+        events = [
+            PassEvent(d["pass"], d["wall_ms"], dict(d["counters"]),
+                      d["kernel"])
+            for d in event_dicts
+        ]
+        self.instrument.extend(events)
+        if error is not None:
+            message, last_ii = error
+            return SweepOutcome(index, item,
+                                error=MappingError(message, last_ii),
+                                worker_pid=pid)
+        if item.dfg is not None:
+            dfg = item.dfg
+        else:
+            from repro.kernels.suite import load_kernel
+
+            dfg = load_kernel(item.kernel, item.unroll)
+        mapping = Mapping.from_dict(json.loads(blob), dfg, cgra)
+        with self.instrument.measure("revalidate", dfg.name) as counters:
+            report = validate_mapping(mapping)
+            counters["ii"] = report.ii
+        # Promote the worker's engine artifact so later serial compiles
+        # (e.g. derived strategies over the same placement) hit warm.
+        if engine_blob is not None and hasattr(self.cache,
+                                               "store_serialized"):
+            self.cache.store_serialized(cache_key, engine_blob)
+        result = CompileResult(
+            mapping=mapping,
+            report=report,
+            events=events,
+            cache_key=cache_key,
+            cache_hit=cache_hit,
+        )
+        return SweepOutcome(index, item, result=result, worker_pid=pid)

@@ -30,7 +30,25 @@ def main(argv: list[str] | None = None) -> int:
         "--save", metavar="DIR", default=None,
         help="also write <id>.txt, <id>.json and <id>.csv into DIR",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan strategy sweeps over this many processes",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent on-disk mapping cache (default when --jobs>1: "
+             ".repro-cache or $REPRO_CACHE_DIR)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs != 1 or args.cache_dir:
+        from repro.compile import default_cache_root
+        from repro.experiments.common import set_parallel_defaults
+
+        cache_dir = args.cache_dir or (
+            default_cache_root() if args.jobs > 1 else None
+        )
+        set_parallel_defaults(jobs=args.jobs, cache_dir=cache_dir)
 
     save_dir = pathlib.Path(args.save) if args.save else None
     if save_dir is not None:

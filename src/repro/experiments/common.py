@@ -8,7 +8,14 @@ pipeline cache sits a small per-process memo of ``MappedKernel``
 bundles so intra-process re-use skips even rehydration + revalidation.
 
 :func:`sweep_strategies` is the one kernel x strategy x unroll loop the
-per-figure modules used to copy-paste.
+per-figure modules used to copy-paste. With parallel defaults set
+(``set_parallel_defaults`` — the experiments CLI's ``--jobs``), the
+loop's compiles are prefetched through a
+:class:`~repro.compile.parallel.SweepExecutor` first: work fans out
+across a process pool and/or is served from the persistent on-disk
+cache, then the (unchanged, deterministic) aggregation loop runs
+entirely against warm memoized results — so a ``--jobs N`` figure is
+bit-identical to a serial one.
 """
 
 from __future__ import annotations
@@ -17,7 +24,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.arch.cgra import CGRA
-from repro.compile import Instrumentation, compile_kernel
+from repro.compile import (
+    Instrumentation,
+    SweepExecutor,
+    SweepItem,
+    compile_kernel,
+    get_cache,
+)
 from repro.errors import MappingError
 from repro.mapper.mapping import Mapping
 from repro.mapper.timing import TimingReport
@@ -27,9 +40,45 @@ STRATEGIES = ("baseline", "baseline+gating", "per_tile_dvfs", "iced")
 
 _MEMO: dict[tuple, "MappedKernel"] = {}
 
+#: Compiles that raised MappingError, memoized as such so parallel
+#: prefetches and serial retries agree on which combinations fail.
+_MEMO_ERRORS: dict[tuple, MappingError] = {}
+
 #: Pass events of every compile issued by the experiment layer; the
 #: benchmark harness renders these into per-pass timing artifacts.
 _INSTRUMENT = Instrumentation()
+
+#: Module defaults the CLI sets once (``--jobs``/``--cache-dir``) so
+#: every harness routes through the executor without signature churn.
+_DEFAULT_JOBS = 1
+_DEFAULT_CACHE_DIR: str | None = None
+
+
+def set_parallel_defaults(jobs: int = 1,
+                          cache_dir: str | None = None) -> None:
+    """Configure how :func:`sweep_strategies` executes its compiles.
+
+    ``jobs > 1`` fans the sweep out over a process pool; ``cache_dir``
+    points all compiles (parallel *and* serial) at a persistent
+    on-disk artifact store shared across processes and invocations.
+    """
+    global _DEFAULT_JOBS, _DEFAULT_CACHE_DIR
+    _DEFAULT_JOBS = max(1, int(jobs))
+    _DEFAULT_CACHE_DIR = cache_dir
+
+
+def get_parallel_defaults() -> tuple[int, str | None]:
+    return _DEFAULT_JOBS, _DEFAULT_CACHE_DIR
+
+
+def _experiment_cache():
+    """The cache experiment compiles go through: the process-wide
+    memory cache, disk-backed when a cache dir is configured."""
+    if _DEFAULT_CACHE_DIR is None:
+        return get_cache()
+    from repro.compile import DiskCache, TieredCache
+
+    return TieredCache(get_cache(), DiskCache(_DEFAULT_CACHE_DIR))
 
 
 @dataclass
@@ -55,7 +104,10 @@ def mapped_kernel(name: str, unroll: int, cgra: CGRA,
     key = (name, unroll, fabric_key(cgra), strategy)
     if key in _MEMO:
         return _MEMO[key]
+    if key in _MEMO_ERRORS:
+        raise _MEMO_ERRORS[key]
     compiled = compile_kernel(name, cgra, strategy, unroll=unroll,
+                              cache=_experiment_cache(),
                               instrument=_INSTRUMENT)
     result = MappedKernel(mapping=compiled.mapping,
                           report=compiled.report,
@@ -67,6 +119,7 @@ def mapped_kernel(name: str, unroll: int, cgra: CGRA,
 def clear_cache() -> None:
     """Drop the experiment memo (the pipeline's mapping cache stays)."""
     _MEMO.clear()
+    _MEMO_ERRORS.clear()
 
 
 def get_instrumentation() -> Instrumentation:
@@ -105,10 +158,43 @@ class StrategySweep:
         return [self.averages[(s, unroll)] for s in self.strategies]
 
 
+def _prefetch_parallel(kernels: tuple[str, ...], cgra: CGRA,
+                       strategies: tuple[str, ...],
+                       unrolls: tuple[int, ...], jobs: int) -> None:
+    """Fan every un-memoized (kernel, strategy, unroll) compile out
+    across the process pool, memoizing successes and failures so the
+    serial aggregation loop below never compiles."""
+    pending: list[tuple[tuple, SweepItem]] = []
+    for unroll in unrolls:
+        for name in kernels:
+            for strategy in strategies:
+                key = (name, unroll, fabric_key(cgra), strategy)
+                if key in _MEMO or key in _MEMO_ERRORS:
+                    continue
+                pending.append((key, SweepItem(kernel=name, unroll=unroll,
+                                               strategy=strategy)))
+    if not pending:
+        return
+    executor = SweepExecutor(jobs=jobs, cache=_experiment_cache(),
+                             cache_dir=_DEFAULT_CACHE_DIR,
+                             instrument=_INSTRUMENT)
+    outcomes = executor.run([item for _, item in pending], cgra)
+    for (key, _item), outcome in zip(pending, outcomes):
+        if outcome.ok:
+            _MEMO[key] = MappedKernel(
+                mapping=outcome.result.mapping,
+                report=outcome.result.report,
+                cache_hit=outcome.result.cache_hit,
+            )
+        else:
+            _MEMO_ERRORS[key] = outcome.error
+
+
 def sweep_strategies(kernels: tuple[str, ...], cgra: CGRA,
                      strategies: tuple[str, ...], metric: Metric,
                      unrolls: tuple[int, ...] = (1,), *,
-                     skip_unmappable: bool = False) -> StrategySweep:
+                     skip_unmappable: bool = False,
+                     jobs: int | None = None) -> StrategySweep:
     """The kernel x strategy x unroll loop shared by Figs 9-12.
 
     Compiles every combination through the pipeline, applies ``metric``
@@ -116,7 +202,15 @@ def sweep_strategies(kernels: tuple[str, ...], cgra: CGRA,
     ``skip_unmappable`` a kernel that raises
     :class:`~repro.errors.MappingError` under *any* strategy is dropped
     from that unroll's rows and averages (the Fig 12 small-fabric case).
+
+    ``jobs`` (default: the module's parallel defaults) > 1 prefetches
+    all compiles through a process pool first; the aggregation below is
+    unchanged and its output bit-identical to a serial run.
     """
+    jobs = _DEFAULT_JOBS if jobs is None else max(1, int(jobs))
+    if jobs > 1:
+        _prefetch_parallel(kernels, cgra, tuple(strategies),
+                           tuple(unrolls), jobs)
     sweep = StrategySweep(strategies=tuple(strategies),
                           unrolls=tuple(unrolls))
     for unroll in unrolls:

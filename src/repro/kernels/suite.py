@@ -1,4 +1,12 @@
-"""Loading Table I kernels by name and unroll factor."""
+"""Loading Table I kernels by name and unroll factor.
+
+Two registries live here. :func:`load_kernel` serves the *synthesized*
+Table I suite — graphs matching the published statistics, with no
+executable semantics. :func:`load_program` serves the *executable*
+program suite (:data:`repro.kernels.programs.ALL_PROGRAMS`) — real
+frontend ASTs whose reference interpretation, DFG interpretation and
+mapped co-simulation must all agree (the differential tests).
+"""
 
 from __future__ import annotations
 
@@ -12,6 +20,30 @@ from repro.kernels.table1 import TABLE1_SPECS, kernel_spec
 def kernel_names() -> list[str]:
     """All Table I kernel names."""
     return sorted(TABLE1_SPECS)
+
+
+def executable_kernel_names() -> list[str]:
+    """The kernels with real, executable semantics (frontend ASTs)."""
+    from repro.kernels.programs import ALL_PROGRAMS
+
+    return sorted(ALL_PROGRAMS)
+
+
+def load_program(name: str, **sizes):
+    """The executable program ``name``, optionally resized.
+
+    ``sizes`` forwards to the program factory (e.g. ``n=10, taps=3``
+    for ``fir``) so tests can shrink instances to simulation-friendly
+    trip counts.
+    """
+    from repro.kernels.programs import ALL_PROGRAMS
+
+    if name not in ALL_PROGRAMS:
+        raise DFGError(
+            f"no executable program {name!r} "
+            f"(have: {', '.join(sorted(ALL_PROGRAMS))})"
+        )
+    return ALL_PROGRAMS[name](**sizes)
 
 
 def load_kernel(name: str, unroll: int = 1) -> DFG:

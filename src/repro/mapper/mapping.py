@@ -133,6 +133,9 @@ class Mapping:
         )
 
     def to_dict(self) -> dict:
+        # Dict keys are strings so the payload is a JSON fixpoint:
+        # dump -> parse -> dump is byte-identical, which the on-disk
+        # artifact cache's byte-stability contract depends on.
         return {
             "kernel": self.dfg.name,
             "cgra": self.cgra.name,
@@ -140,11 +143,11 @@ class Mapping:
             "ii": self.ii,
             "xbar_capacity": self.xbar_capacity,
             "placements": {
-                n: {"tile": p.tile, "time": p.time}
+                str(n): {"tile": p.tile, "time": p.time}
                 for n, p in self.placements.items()
             },
             "routes": {
-                i: {
+                str(i): {
                     "src": r.src_node,
                     "dst": r.dst_node,
                     "path": list(r.path),
@@ -155,13 +158,14 @@ class Mapping:
                 for i, r in self.routes.items()
             },
             "tile_levels": {
-                t: level.name for t, level in self.tile_levels.items()
+                str(t): level.name for t, level in self.tile_levels.items()
             },
             "island_levels": {
-                i: level.name for i, level in self.island_levels.items()
+                str(i): level.name
+                for i, level in self.island_levels.items()
             },
             "labels": {
-                n: level.name for n, level in self.labels.items()
+                str(n): level.name for n, level in self.labels.items()
             },
         }
 

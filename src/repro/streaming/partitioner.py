@@ -20,7 +20,12 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.arch.cgra import CGRA
-from repro.compile import Instrumentation, compile_dfg
+from repro.compile import (
+    Instrumentation,
+    SweepExecutor,
+    SweepItem,
+    compile_dfg,
+)
 from repro.errors import MappingError, PartitionError
 from repro.mapper.engine import EngineConfig
 from repro.mapper.mapping import Mapping
@@ -109,6 +114,20 @@ def _snake_island_order(cgra: CGRA) -> list[int]:
     return order
 
 
+def _island_config(cgra: CGRA, island_ids: tuple[int, ...],
+                   max_ii: int = 32) -> EngineConfig:
+    """The restricted engine configuration of one island allocation."""
+    tiles = frozenset(
+        t for isl in island_ids for t in cgra.island(isl).tile_ids
+    )
+    return EngineConfig(
+        dvfs_aware=True,
+        allowed_tiles=tiles,
+        allowed_level_names=("normal",),
+        max_ii=max_ii,
+    )
+
+
 def _map_on_islands(kernel: KernelStage, cgra: CGRA,
                     island_ids: tuple[int, ...], max_ii: int = 32, *,
                     use_cache: bool = True,
@@ -121,15 +140,7 @@ def _map_on_islands(kernel: KernelStage, cgra: CGRA,
     share one engine run — and a restricted compile is never served a
     whole-fabric cached artifact.
     """
-    tiles = frozenset(
-        t for isl in island_ids for t in cgra.island(isl).tile_ids
-    )
-    config = EngineConfig(
-        dvfs_aware=True,
-        allowed_tiles=tiles,
-        allowed_level_names=("normal",),
-        max_ii=max_ii,
-    )
+    config = _island_config(cgra, island_ids, max_ii)
     try:
         return compile_dfg(kernel.dfg, cgra, "iced", config, refine=False,
                            use_cache=use_cache,
@@ -142,22 +153,55 @@ def build_ii_table(app: StreamingApp, cgra: CGRA,
                    max_islands_per_kernel: int = 4, *,
                    use_cache: bool = True,
                    instrument: Instrumentation | None = None,
+                   jobs: int = 1, cache_dir: str | None = None,
                    ) -> dict[tuple[str, int], int | None]:
     """II of every kernel on 1..N islands (None = unmappable).
 
     The probe uses the first k islands as a representative tile set;
     islands are homogeneous on the streaming fabric, so the II depends
     on the count (and rough shape), not the identity.
+
+    The (kernel x island-count) probe grid is independent work — with
+    ``jobs > 1`` it fans out across a process pool (the probes dominate
+    partitioning time), with deterministic results either way.
     """
     snake = _snake_island_order(cgra)
+    probes = [
+        (kernel, count)
+        for kernel in app.all_kernels()
+        for count in range(1, max_islands_per_kernel + 1)
+    ]
+    if jobs > 1 and use_cache:
+        from repro.compile import DiskCache, TieredCache, get_cache
+
+        # Engine artifacts promote into the process-wide cache so the
+        # realization step below the table search hits warm.
+        parent_cache = (
+            TieredCache(get_cache(), DiskCache(cache_dir))
+            if cache_dir else get_cache()
+        )
+        executor = SweepExecutor(jobs=jobs, cache=parent_cache,
+                                 cache_dir=cache_dir,
+                                 instrument=instrument)
+        items = [
+            SweepItem(dfg=kernel.dfg, strategy="iced",
+                      config=_island_config(cgra, tuple(snake[:count])),
+                      refine=False, tag=kernel.name)
+            for kernel, count in probes
+        ]
+        outcomes = executor.run(items, cgra)
+        return {
+            (kernel.name, count):
+                outcome.result.mapping.ii if outcome.ok else None
+            for (kernel, count), outcome in zip(probes, outcomes)
+        }
     table: dict[tuple[str, int], int | None] = {}
-    for kernel in app.all_kernels():
-        for count in range(1, max_islands_per_kernel + 1):
-            probe_islands = tuple(snake[:count])
-            mapping = _map_on_islands(kernel, cgra, probe_islands,
-                                      use_cache=use_cache,
-                                      instrument=instrument)
-            table[(kernel.name, count)] = mapping.ii if mapping else None
+    for kernel, count in probes:
+        probe_islands = tuple(snake[:count])
+        mapping = _map_on_islands(kernel, cgra, probe_islands,
+                                  use_cache=use_cache,
+                                  instrument=instrument)
+        table[(kernel.name, count)] = mapping.ii if mapping else None
     return table
 
 
@@ -179,7 +223,9 @@ def partition_app(app: StreamingApp, cgra: CGRA,
                   max_islands_per_kernel: int = 4,
                   ii_table: dict | None = None, *,
                   use_cache: bool = True,
-                  instrument: Instrumentation | None = None) -> Partition:
+                  instrument: Instrumentation | None = None,
+                  jobs: int = 1,
+                  cache_dir: str | None = None) -> Partition:
     """Choose and realize the throughput-optimal island composition."""
     kernels = app.all_kernels()
     total_islands = len(cgra.islands)
@@ -191,6 +237,7 @@ def partition_app(app: StreamingApp, cgra: CGRA,
     table = ii_table if ii_table is not None else build_ii_table(
         app, cgra, max_islands_per_kernel,
         use_cache=use_cache, instrument=instrument,
+        jobs=jobs, cache_dir=cache_dir,
     )
 
     names = [k.name for k in kernels]

@@ -1,0 +1,149 @@
+"""Differential testing across the three execution models.
+
+Every executable suite kernel runs through three independent
+implementations of the same semantics:
+
+1. the frontend AST reference interpreter (``run_kernel_ast``),
+2. the lowered-DFG interpreter (``run_lowered_dfg``),
+3. value-accurate co-simulation of the *mapped* kernel
+   (``sim.cosim.cosimulate``), under both a baseline and a DVFS-aware
+   (iced) mapping produced by the unified compile pipeline.
+
+All three must agree on every output array, and the cosim's cycle
+count must agree with the analytic execution model
+(``sim.simulator.simulate_execution``). A disagreement localizes a bug
+to whichever layer diverges — the point of differential testing.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.compile import MappingCache, compile_dfg
+from repro.errors import DFGError
+from repro.frontend import lower_kernel, run_kernel_ast, run_lowered_dfg
+from repro.kernels.programs import ALL_PROGRAMS
+from repro.kernels.suite import executable_kernel_names, load_program
+from repro.sim.cosim import cosimulate
+from repro.sim.simulator import simulate_execution
+from repro.utils.rng import make_rng
+
+#: Simulation-friendly instance sizes (small trip counts, same shapes).
+SIZES = {
+    "fir": dict(n=10, taps=3),
+    "relu": dict(n=12),
+    "mvt": dict(n=4),
+    "conv1d": dict(n=8, k=2),
+    "histogram": dict(n=16, bins=4),
+    "dotprod": dict(n=12),
+    "spmv": dict(rows=4, nnz_per_row=2),
+    "dtw_band": dict(n=8),
+}
+
+STRATEGIES = ("baseline", "iced")
+
+#: One pipeline cache across the whole module: the mapping of a kernel
+#: is compiled once per strategy no matter how many tests probe it.
+_CACHE = MappingCache()
+
+
+@lru_cache(maxsize=None)
+def _cgra() -> CGRA:
+    return CGRA.build(6, 6)
+
+
+@lru_cache(maxsize=None)
+def _prepared(name: str):
+    kernel = load_program(name, **SIZES[name])
+    return kernel, lower_kernel(kernel, flatten=True)
+
+
+def _memory(name: str, kernel, seed: int = 0):
+    rng = make_rng(seed)
+    mem = {
+        arr: rng.normal(size=size).tolist()
+        for arr, size in kernel.arrays.items()
+    }
+    # Integer-valued index arrays need sane contents.
+    if name == "histogram":
+        mem["data"] = [float(abs(int(v * 10))) for v in mem["data"]]
+        mem["hist"] = [0.0] * len(mem["hist"])
+    if name == "spmv":
+        rows = len(mem["x"])
+        mem["col"] = [float(abs(int(v * 100)) % rows) for v in mem["col"]]
+    return mem
+
+
+@lru_cache(maxsize=None)
+def _mapped(name: str, strategy: str):
+    _, lowered = _prepared(name)
+    return compile_dfg(lowered.dfg, _cgra(), strategy,
+                       cache=_CACHE).mapping
+
+
+class TestRegistry:
+    def test_executable_names_match_programs(self):
+        assert executable_kernel_names() == sorted(ALL_PROGRAMS)
+
+    def test_load_program_resizes(self):
+        kernel = load_program("fir", n=10, taps=3)
+        assert kernel.arrays == {"x": 13, "h": 3, "y": 10}
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(DFGError, match="no executable program"):
+            load_program("nonesuch")
+
+
+class TestThreeWayAgreement:
+    """Reference interp == DFG interp == mapped cosimulation."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("name", sorted(SIZES))
+    def test_outputs_agree(self, name, strategy):
+        kernel, lowered = _prepared(name)
+        memory = _memory(name, kernel)
+        reference = run_kernel_ast(kernel, memory)
+        interp = run_lowered_dfg(lowered, memory)
+        mapping = _mapped(name, strategy)
+        cosim = cosimulate(lowered, mapping, memory)
+        for array in kernel.arrays:
+            assert interp.memory[array] == pytest.approx(
+                reference[array]
+            ), f"DFG interp diverges from reference on {array!r}"
+            assert cosim.memory[array] == pytest.approx(
+                reference[array]
+            ), (f"{strategy} cosim diverges from reference on "
+                f"{array!r}")
+
+    @pytest.mark.parametrize("name", sorted(SIZES))
+    def test_baseline_and_iced_compute_identically(self, name):
+        """DVFS awareness may change timing, never values."""
+        kernel, lowered = _prepared(name)
+        memory = _memory(name, kernel, seed=7)
+        runs = {
+            strategy: cosimulate(lowered, _mapped(name, strategy),
+                                 memory).memory
+            for strategy in STRATEGIES
+        }
+        for array in kernel.arrays:
+            assert runs["iced"][array] == pytest.approx(
+                runs["baseline"][array]
+            )
+
+
+class TestCycleModelConsistency:
+    """Cosim cycle accounting == the analytic execution model."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("name", sorted(SIZES))
+    def test_total_cycles_agree(self, name, strategy):
+        _, lowered = _prepared(name)
+        mapping = _mapped(name, strategy)
+        kernel, _ = _prepared(name)
+        cosim = cosimulate(lowered, mapping, _memory(name, kernel))
+        stats = simulate_execution(mapping, lowered.trip_count)
+        assert stats.ii == mapping.ii
+        assert stats.iterations == lowered.trip_count
+        assert stats.total_cycles == cosim.total_cycles
+        assert stats.total_cycles >= (lowered.trip_count - 1) * mapping.ii

@@ -1,0 +1,300 @@
+"""Property and stress tests for the persistent on-disk mapping cache.
+
+The disk cache's three contracts, adversarially exercised:
+
+* **byte-stability** — save -> load -> save round-trips are
+  byte-identical for arbitrary JSON payloads (hypothesis);
+* **never serve garbage** — corrupted or truncated artifacts are
+  quarantined and reported as misses, never raised (hypothesis over
+  truncation points and envelope mutations);
+* **never tear** — two processes hammering the same key concurrently
+  never produce a reader-visible torn artifact.
+"""
+
+import json
+import multiprocessing
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import (
+    SCHEMA_VERSION,
+    DiskCache,
+    MappingCache,
+    TieredCache,
+)
+from repro.compile.diskcache import ENV_CACHE_DIR, default_cache_root
+
+# -- strategies ---------------------------------------------------------------
+
+hex_keys = st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)
+
+json_scalars = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=10),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+payloads = st.dictionaries(st.text(max_size=8), json_values, max_size=5)
+
+
+def canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# -- properties ---------------------------------------------------------------
+
+
+class TestRoundtrip:
+    @settings(max_examples=30, deadline=None)
+    @given(key=hex_keys, payload=payloads)
+    def test_save_load_save_is_byte_stable(self, key, payload):
+        with tempfile.TemporaryDirectory() as root:
+            cache = DiskCache(root)
+            blob = canon(payload)
+            cache.store_serialized(key, blob)
+            loaded = cache.load_blob(key)
+            assert loaded == blob
+            # Re-store what was loaded: the artifact file itself must
+            # not change by a byte.
+            artifact = cache._path(key)
+            first = artifact.read_bytes()
+            cache.store_serialized(key, loaded)
+            assert cache._path(key).read_bytes() == first
+            assert cache.load_blob(key) == blob
+
+    @settings(max_examples=15, deadline=None)
+    @given(key=hex_keys, payload=payloads)
+    def test_artifact_envelope(self, key, payload):
+        with tempfile.TemporaryDirectory() as root:
+            cache = DiskCache(root)
+            cache.store_serialized(key, canon(payload), kernel="k")
+            envelope = json.loads(cache._path(key).read_text())
+            assert envelope["schema"] == SCHEMA_VERSION
+            assert envelope["key"] == key
+            assert envelope["kernel"] == "k"
+            assert canon(envelope["mapping"]) == canon(payload)
+
+
+class TestCorruption:
+    @settings(max_examples=30, deadline=None)
+    @given(key=hex_keys, payload=payloads, cut=st.integers(min_value=1))
+    def test_truncated_artifact_quarantined_not_crashed(
+            self, key, payload, cut):
+        with tempfile.TemporaryDirectory() as root:
+            cache = DiskCache(root)
+            cache.store_serialized(key, canon(payload))
+            path = cache._path(key)
+            raw = path.read_bytes()
+            # A strict prefix of a canonical JSON object is never
+            # valid JSON (the root object is unclosed).
+            path.write_bytes(raw[: len(raw) - min(cut, len(raw))])
+            assert cache.load_blob(key) is None
+            assert not path.exists(), "corrupt artifact must move aside"
+            assert cache.quarantined_count() == 1
+            assert cache.stats.quarantined == 1
+            # The key is usable again immediately.
+            cache.store_serialized(key, canon(payload))
+            assert cache.load_blob(key) == canon(payload)
+
+    @settings(max_examples=20, deadline=None)
+    @given(key=hex_keys, payload=payloads,
+           garbage=st.binary(min_size=1, max_size=64))
+    def test_binary_garbage_quarantined(self, key, payload, garbage):
+        with tempfile.TemporaryDirectory() as root:
+            cache = DiskCache(root)
+            cache.store_serialized(key, canon(payload))
+            path = cache._path(key)
+            path.write_bytes(b"\x00" + garbage)  # never valid JSON
+            assert cache.load_blob(key) is None
+            assert cache.quarantined_count() == 1
+
+    def test_schema_mismatch_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        key = "ab" * 16
+        cache.store_serialized(key, canon({"x": 1}))
+        path = cache._path(key)
+        envelope = json.loads(path.read_text())
+        envelope["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        assert cache.load_blob(key) is None
+        assert cache.quarantined_count() == 1
+
+    def test_misfiled_key_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store_serialized("ab" * 16, canon({"x": 1}))
+        # Copy the artifact under a different key: the self-describing
+        # envelope disagrees and the copy must not be served.
+        other = "cd" * 16
+        target = cache._path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(cache._path("ab" * 16).read_bytes())
+        assert cache.load_blob(other) is None
+        assert cache.quarantined_count() == 1
+        assert cache.load_blob("ab" * 16) == canon({"x": 1})
+
+    def test_unrehydratable_mapping_quarantined(self, tmp_path,
+                                                fir_dfg, cgra66):
+        cache = DiskCache(tmp_path)
+        key = "ef" * 16
+        cache.store_serialized(key, canon({"not": "a mapping"}))
+        assert cache.lookup(key, fir_dfg, cgra66) is None
+        assert cache.quarantined_count() == 1
+
+
+# -- concurrency --------------------------------------------------------------
+
+
+def _hammer(root: str, key: str, blob: str, n: int) -> None:
+    cache = DiskCache(root)
+    for _ in range(n):
+        cache.store_serialized(key, blob)
+
+
+class TestConcurrentWriters:
+    def test_two_process_writers_never_tear(self, tmp_path):
+        key = "77" * 16
+        blob_a = canon({"writer": "a", "data": list(range(200))})
+        blob_b = canon({"writer": "b", "data": list(range(200, 400))})
+        reader = DiskCache(tmp_path)
+        reader.store_serialized(key, blob_a)
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        procs = [
+            ctx.Process(target=_hammer,
+                        args=(str(tmp_path), key, blob, 150))
+            for blob in (blob_a, blob_b)
+        ]
+        for p in procs:
+            p.start()
+        seen = set()
+        try:
+            while any(p.is_alive() for p in procs):
+                loaded = reader.load_blob(key)
+                assert loaded in (blob_a, blob_b), "torn artifact served"
+                seen.add(loaded)
+        finally:
+            for p in procs:
+                p.join(timeout=60)
+        for p in procs:
+            assert p.exitcode == 0
+        # Every read parsed: nothing was quarantined by the races.
+        assert reader.stats.quarantined == 0
+        final = reader.load_blob(key)
+        assert final in (blob_a, blob_b)
+        # No temp files leaked into the artifact tree.
+        leftovers = [
+            p for p in reader.version_dir.rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+# -- tiering ------------------------------------------------------------------
+
+
+class TestTieredCache:
+    def test_disk_hit_promotes_to_memory(self, tmp_path, baseline_fir,
+                                         fir_dfg, cgra66):
+        key = "12" * 16
+        disk = DiskCache(tmp_path)
+        disk.store_serialized(key, canon(baseline_fir.to_dict()))
+        tiered = TieredCache(MappingCache(), disk)
+        mapping = tiered.lookup(key, fir_dfg, cgra66)
+        assert mapping is not None
+        assert mapping.ii == baseline_fir.ii
+        assert tiered.memory.serialized(key) == canon(
+            baseline_fir.to_dict()
+        )
+        # Second lookup is served by the memory tier.
+        before = disk.stats.hits
+        assert tiered.lookup(key, fir_dfg, cgra66) is not None
+        assert disk.stats.hits == before
+
+    def test_store_writes_through(self, tmp_path, baseline_fir):
+        key = "34" * 16
+        tiered = TieredCache(MappingCache(), DiskCache(tmp_path))
+        tiered.store(key, baseline_fir)
+        assert key in tiered.memory
+        assert key in tiered.disk
+        assert tiered.serialized(key) == canon(baseline_fir.to_dict())
+
+    def test_stats_dict_has_both_tiers(self, tmp_path):
+        tiered = TieredCache(MappingCache(), DiskCache(tmp_path))
+        stats = tiered.stats_dict()
+        for field in ("memory_hits", "disk_hits", "disk_quarantined",
+                      "hits", "misses", "entries"):
+            assert field in stats
+
+
+# -- housekeeping -------------------------------------------------------------
+
+
+class TestHousekeeping:
+    def _seed(self, cache: DiskCache, count: int) -> list[str]:
+        keys = [f"{i:02x}" * 16 for i in range(count)]
+        for i, key in enumerate(keys):
+            cache.store_serialized(key, canon({"i": i}))
+            # Deterministic, strictly increasing write stamps.
+            os.utime(cache._path(key), (1000.0 + i, 1000.0 + i))
+        return keys
+
+    def test_gc_keeps_newest(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        keys = self._seed(cache, 5)
+        assert cache.gc(max_entries=2) == 3
+        assert len(cache) == 2
+        survivors = {p.stem for p in cache.artifact_paths()}
+        assert survivors == set(keys[-2:])
+        assert cache.stats.evictions == 3
+
+    def test_gc_age_horizon(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        keys = self._seed(cache, 4)
+        # Everything was stamped around t=1000: far past any horizon.
+        assert cache.gc(max_age_s=3600.0) == 4
+        assert len(cache) == 0
+
+    def test_gc_noop_without_limits(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._seed(cache, 3)
+        assert cache.gc() == 0
+        assert len(cache) == 3
+
+    def test_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._seed(cache, 3)
+        cache._path("aa" * 16).parent.mkdir(parents=True, exist_ok=True)
+        cache._path("aa" * 16).write_text("garbage")
+        assert cache.load_blob("aa" * 16) is None  # -> quarantine
+        assert cache.clear() == 3
+        assert len(cache) == 0
+        assert cache.quarantined_count() == 0
+
+    def test_stats_dict(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        self._seed(cache, 2)
+        stats = cache.stats_dict()
+        assert stats["entries"] == 2
+        assert stats["stores"] == 2
+        assert stats["bytes"] > 0
+        assert stats["quarantine_files"] == 0
+
+    def test_default_root_env_override(self, monkeypatch):
+        monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+        assert default_cache_root() == ".repro-cache"
+        monkeypatch.setenv(ENV_CACHE_DIR, "/tmp/elsewhere")
+        assert default_cache_root() == "/tmp/elsewhere"

@@ -1,0 +1,215 @@
+"""The parallel sweep executor's determinism and merging contracts.
+
+The headline invariant: ``--jobs N`` is bit-identical to ``--jobs 1``.
+Seeds are derived in the parent from (sweep seed, work-item index), so
+where an item lands — which worker, what order — can never leak into
+its result.
+"""
+
+import json
+
+import pytest
+
+from repro.arch.cgra import CGRA
+from repro.compile import (
+    Instrumentation,
+    SweepExecutor,
+    SweepItem,
+    default_jobs,
+)
+from repro.compile.parallel import ENV_JOBS
+from repro.errors import MappingError
+from repro.kernels.suite import load_kernel
+from repro.utils.rng import derive_worker_seed, worker_rng
+
+KERNELS = ("fir", "relu", "mvt")
+
+
+def canon(mapping) -> str:
+    return json.dumps(mapping.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _items(strategy: str = "iced") -> list[SweepItem]:
+    return [SweepItem(kernel=name, strategy=strategy) for name in KERNELS]
+
+
+class TestWorkerSeeds:
+    def test_deterministic(self):
+        assert derive_worker_seed(42, 0) == derive_worker_seed(42, 0)
+        assert derive_worker_seed(42, 1) == derive_worker_seed(42, 1)
+
+    def test_distinct_per_index_and_parent(self):
+        seeds = {derive_worker_seed(7, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert derive_worker_seed(7, 0) != derive_worker_seed(8, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            derive_worker_seed(0, -1)
+
+    def test_worker_rng_streams_independent(self):
+        a = worker_rng(3, 0).normal(size=4)
+        b = worker_rng(3, 1).normal(size=4)
+        again = worker_rng(3, 0).normal(size=4)
+        assert list(a) == list(again)
+        assert list(a) != list(b)
+
+
+class TestSweepItem:
+    def test_exactly_one_input_required(self):
+        with pytest.raises(ValueError):
+            SweepItem()
+        with pytest.raises(ValueError):
+            SweepItem(kernel="fir", dfg=load_kernel("fir"))
+
+    def test_name(self):
+        assert SweepItem(kernel="fir").name == "fir"
+        dfg = load_kernel("relu")
+        assert SweepItem(dfg=dfg).name == dfg.name
+
+
+class TestDefaultJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv(ENV_JOBS, "garbage")
+        assert default_jobs() >= 1
+        monkeypatch.delenv(ENV_JOBS)
+        assert default_jobs() >= 1
+
+
+class TestDeterminism:
+    """jobs=N must be bit-identical to jobs=1."""
+
+    def _blobs(self, jobs: int, strategy: str, seed: int = 0,
+               cgra_size: int = 6) -> list[str]:
+        executor = SweepExecutor(jobs=jobs, seed=seed)
+        cgra = CGRA.build(cgra_size, cgra_size)
+        outcomes = executor.run(_items(strategy), cgra)
+        return [canon(o.mapping) for o in outcomes]
+
+    def test_parallel_matches_serial(self):
+        assert self._blobs(1, "iced") == self._blobs(2, "iced")
+
+    def test_parallel_matches_serial_annealed(self):
+        # The annealer consumes its per-item seed: this is the
+        # regression test for seed derivation under fan-out.
+        assert self._blobs(1, "anneal") == self._blobs(3, "anneal")
+
+    def test_sweep_seed_changes_annealed_results(self):
+        base = self._blobs(1, "anneal", seed=0)
+        other = self._blobs(1, "anneal", seed=99)
+        assert base != other
+
+    def test_explicit_item_seed_wins(self):
+        item = SweepItem(kernel="fir", strategy="anneal", seed=1234)
+        cgra = CGRA.build(6, 6)
+        a = SweepExecutor(jobs=1, seed=0).run([item], cgra)
+        b = SweepExecutor(jobs=1, seed=55).run([item], cgra)
+        assert canon(a[0].mapping) == canon(b[0].mapping)
+
+
+class TestPoolMechanics:
+    def test_outcomes_in_worklist_order(self):
+        executor = SweepExecutor(jobs=2)
+        outcomes = executor.run(_items(), CGRA.build(6, 6))
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert [o.item.kernel for o in outcomes] == list(KERNELS)
+
+    def test_worker_events_merged(self):
+        instrument = Instrumentation()
+        executor = SweepExecutor(jobs=2, instrument=instrument)
+        executor.run(_items(), CGRA.build(6, 6))
+        by_pass: dict[str, int] = {}
+        for event in instrument.events:
+            by_pass[event.pass_name] = by_pass.get(event.pass_name, 0) + 1
+        # Every kernel contributes its full pass sequence plus the
+        # parent-side revalidation of the returned artifact.
+        assert by_pass["place_route"] == len(KERNELS)
+        assert by_pass["revalidate"] == len(KERNELS)
+        kernels_seen = {e.kernel for e in instrument.events}
+        assert set(KERNELS) <= kernels_seen
+
+    def test_parallel_results_revalidated(self):
+        executor = SweepExecutor(jobs=2)
+        outcomes = executor.run(_items(), CGRA.build(6, 6))
+        for outcome in outcomes:
+            assert outcome.result.report.ii == outcome.mapping.ii
+
+    def test_mapping_error_captured_not_raised(self):
+        # An II budget of 1 is unmeetable: the outcome carries the
+        # error (with its last tried II) instead of raising.
+        from repro.mapper.engine import EngineConfig
+
+        config = EngineConfig(dvfs_aware=True, max_ii=1)
+        executor = SweepExecutor(jobs=2)
+        items = [SweepItem(kernel="fir", config=config),
+                 SweepItem(kernel="relu", config=config)]
+        outcomes = executor.run(items, CGRA.build(6, 6))
+        assert all(not o.ok for o in outcomes)
+        for outcome in outcomes:
+            assert isinstance(outcome.error, MappingError)
+            assert outcome.error.last_ii == 1
+            with pytest.raises(MappingError):
+                outcome.mapping
+
+    def test_disk_cache_warms_fresh_executor(self, tmp_path):
+        cgra = CGRA.build(6, 6)
+        cold = SweepExecutor(jobs=2, cache_dir=str(tmp_path))
+        first = cold.run(_items(), cgra)
+        # A brand-new executor (fresh memory cache) over the same disk
+        # tree serves everything as cache hits, byte-identically.
+        warm = SweepExecutor(jobs=1, cache_dir=str(tmp_path))
+        second = warm.run(_items(), cgra)
+        assert all(o.result.cache_hit for o in second)
+        assert [canon(o.mapping) for o in first] == \
+            [canon(o.mapping) for o in second]
+
+
+class TestPartitionerParity:
+    def test_ii_table_jobs_identical_to_serial(self, tmp_path):
+        from repro.kernels.suite import load_kernel
+        from repro.streaming.app import StreamingApp
+        from repro.streaming.partitioner import (
+            build_ii_table,
+            streaming_cgra,
+        )
+        from repro.streaming.stage import KernelStage
+
+        app = StreamingApp(name="tiny", stages=[
+            [KernelStage("fir", load_kernel("fir"), lambda item: 8)],
+            [KernelStage("relu", load_kernel("relu"), lambda item: 8)],
+        ])
+        cgra = streaming_cgra()
+        serial = build_ii_table(app, cgra, max_islands_per_kernel=2,
+                                jobs=1)
+        parallel = build_ii_table(app, cgra, max_islands_per_kernel=2,
+                                  jobs=2, cache_dir=str(tmp_path))
+        assert serial == parallel
+        assert set(serial) == {
+            ("fir", 1), ("fir", 2), ("relu", 1), ("relu", 2)
+        }
+
+
+class TestSweepStrategiesParity:
+    def test_jobs_bit_identical_to_serial(self):
+        from repro.experiments.common import (
+            STRATEGIES,
+            clear_cache,
+            sweep_strategies,
+        )
+
+        cgra = CGRA.build(6, 6, island_shape=(2, 2))
+        metric = lambda bundle, strategy: float(bundle.mapping.ii)
+
+        def run(jobs):
+            clear_cache()
+            return sweep_strategies(("fir", "relu"), cgra, STRATEGIES,
+                                    metric, jobs=jobs)
+
+        serial, parallel = run(1), run(2)
+        clear_cache()
+        assert serial.averages == parallel.averages
+        assert [(r.kernel, r.unroll, r.values) for r in serial.rows] == \
+            [(r.kernel, r.unroll, r.values) for r in parallel.rows]

@@ -1,0 +1,127 @@
+"""Negative-path tests: hand-broken mappings must be *specifically*
+rejected.
+
+The disk cache and the parallel executor both lean on
+``validate_mapping`` as the last line of defence — every rehydrated or
+worker-produced artifact is revalidated before it is handed out. These
+tests pin down that each class of corruption is caught, and caught
+with the right diagnostic (a generic "something failed" would make
+cache debugging hopeless).
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.mapper.mapping import Placement
+from repro.mapper.validation import validate_mapping
+
+
+def _editable(mapping):
+    """A shallow clone whose dicts can be mutated independently."""
+    clone = copy.copy(mapping)
+    clone.placements = dict(mapping.placements)
+    clone.routes = dict(mapping.routes)
+    clone.tile_levels = dict(mapping.tile_levels)
+    clone.island_levels = dict(mapping.island_levels)
+    return clone
+
+
+def _far_tile(cgra, anchor: int) -> int:
+    """A tile that is not a neighbour of ``anchor`` (nor anchor itself)."""
+    neighbours = set(cgra.neighbors(anchor))
+    return max(
+        t.id for t in cgra.tiles
+        if t.id != anchor and t.id not in neighbours
+    )
+
+
+class TestDoubleBookedFU:
+    def test_two_nodes_on_one_slot_rejected(self, baseline_fir):
+        broken = _editable(baseline_fir)
+        # Two nodes with the same opcode: the second is guaranteed to
+        # be executable on the first's tile, so the *resource* check is
+        # what fires, not an opcode-support check.
+        by_opcode: dict = {}
+        victim = donor = None
+        for node_id in broken.placements:
+            opcode = broken.dfg.node(node_id).opcode
+            if opcode in by_opcode:
+                donor, victim = by_opcode[opcode], node_id
+                break
+            by_opcode[opcode] = node_id
+        assert victim is not None, "fixture has no two same-opcode nodes"
+        source = broken.placements[donor]
+        broken.placements[victim] = Placement(
+            victim, source.tile, source.time
+        )
+        with pytest.raises(ValidationError, match="FU conflict"):
+            validate_mapping(broken)
+
+
+class TestBrokenRoute:
+    def test_non_neighbour_hop_rejected(self, baseline_fir):
+        broken = _editable(baseline_fir)
+        idx, route = next(
+            (i, r) for i, r in broken.routes.items() if len(r.path) >= 2
+        )
+        # Splice a far-away tile after the first hop: endpoints still
+        # match the placements, but the first hop teleports.
+        far = _far_tile(broken.cgra, route.path[0])
+        broken.routes[idx] = dataclasses.replace(
+            route, path=(route.path[0], far) + route.path[1:]
+        )
+        with pytest.raises(ValidationError, match="not neighbours"):
+            validate_mapping(broken)
+
+    def test_missing_route_rejected(self, baseline_fir):
+        broken = _editable(baseline_fir)
+        idx = next(iter(broken.routes))
+        del broken.routes[idx]
+        with pytest.raises(ValidationError, match="not routed"):
+            validate_mapping(broken)
+
+    def test_detached_endpoint_rejected(self, baseline_fir):
+        broken = _editable(baseline_fir)
+        idx, route = next(iter(broken.routes.items()))
+        far = _far_tile(broken.cgra, route.path[-1])
+        broken.routes[idx] = dataclasses.replace(
+            route, path=route.path[:-1] + (far,)
+        )
+        with pytest.raises(ValidationError,
+                           match="do not match placements"):
+            validate_mapping(broken)
+
+
+class TestIslandViolation:
+    def test_tile_level_diverging_from_island_rejected(self, iced_fir):
+        assert iced_fir.island_levels, "iced mapping must carry islands"
+        broken = _editable(iced_fir)
+        # Flip one tile to a level its island does not run at.
+        island = broken.cgra.islands[0]
+        expected = broken.island_levels[island.id]
+        other = next(
+            lvl for lvl in broken.cgra.dvfs.levels if lvl is not expected
+        )
+        broken.tile_levels[island.tile_ids[0]] = other
+        with pytest.raises(ValidationError,
+                           match="differs from its island's"):
+            validate_mapping(broken)
+
+    def test_missing_island_level_rejected(self, iced_fir):
+        broken = _editable(iced_fir)
+        del broken.island_levels[broken.cgra.islands[0].id]
+        with pytest.raises(ValidationError, match="has no level"):
+            validate_mapping(broken)
+
+
+class TestFixturesStillValid:
+    """The editable clone itself must not break a good mapping."""
+
+    def test_clone_of_valid_mapping_validates(self, baseline_fir,
+                                              iced_fir):
+        for mapping in (baseline_fir, iced_fir):
+            report = validate_mapping(_editable(mapping))
+            assert report.ii == mapping.ii
