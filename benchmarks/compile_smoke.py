@@ -1,12 +1,21 @@
 """Compile-time smoke check for CI.
 
-Three sweeps of the 10 standalone Table I kernels through the
+Four sweeps of the 10 standalone Table I kernels through the
 :class:`~repro.compile.SweepExecutor`:
 
 1. **cold serial** — ``--jobs 1`` against a fresh on-disk cache;
 2. **cold parallel** — ``--jobs N`` against another fresh cache;
 3. **warm** — a fresh executor (fresh memory cache, simulating a fresh
-   process) over the parallel run's disk cache.
+   process) over the parallel run's disk cache;
+4. **reference hot-path** — cold serial again, with the pre-optimization
+   reference Dijkstra (``tests/reference_routing.py``) monkeypatched
+   into the placement engine. Same process, same machine, same engine:
+   the wall-clock ratio against sweep 1 is the router hot-path speedup,
+   and the mappings must be byte-identical (the optimized router is a
+   pure acceleration, not a behaviour change). Both sides are timed
+   best-of-two (reference, optimized, reference again, interleaved so
+   each router gets a fully-warmed late run): single-shot wall clocks
+   on a shared CI runner are too noisy for a hard ratio gate.
 
 Asserted invariants:
 
@@ -17,7 +26,16 @@ Asserted invariants:
 * with >= 2 effective cores (``min(jobs, cpus)``), the cold parallel
   sweep is >= MIN_PARALLEL_SPEEDUP x faster than cold serial. On a
   single-core runner the timing is still recorded, but the assertion
-  is vacuous — there is no parallelism to measure.
+  is vacuous — there is no parallelism to measure;
+* the reference-router sweep produces byte-identical mappings and is
+  >= MIN_HOT_PATH_SPEEDUP x slower (i.e. the optimized hot path is at
+  least that much faster than main's);
+* the cold sweep's engine counters show the route memo and the oracle
+  pruning actually firing (``route_memo_hits`` > 0,
+  ``candidates_pruned`` > 0);
+* with ``--baseline FILE``, this run's cold serial wall-clock has not
+  regressed more than ``--max-regression`` against the committed
+  ``BENCH_compile.json`` (the CI perf gate).
 
 Per-pass timings, per-kernel details and cache statistics are written
 to ``BENCH_compile.json`` so compile-time regressions show up as
@@ -26,6 +44,7 @@ artifact diffs.
 Usage::
 
     PYTHONPATH=src python benchmarks/compile_smoke.py [--jobs N] [--out FILE]
+        [--baseline BENCH_compile.json --max-regression 0.25]
 """
 
 from __future__ import annotations
@@ -36,6 +55,10 @@ import os
 import sys
 import tempfile
 import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
 
 from repro.arch.cgra import CGRA
 from repro.compile import (
@@ -51,6 +74,7 @@ from repro.kernels.table1 import STANDALONE_KERNELS
 
 MIN_WARM_SPEEDUP = 5.0
 MIN_PARALLEL_SPEEDUP = 2.0
+MIN_HOT_PATH_SPEEDUP = 2.0
 STRATEGY = "iced"
 
 
@@ -95,6 +119,31 @@ def run_sweep(jobs: int, cache_dir: str, instrument: Instrumentation,
     }
 
 
+def run_reference_sweep(cache_dir: str, kernels: tuple[str, ...],
+                        cgra: CGRA) -> dict:
+    """Cold serial sweep with the reference router in the engine.
+
+    ``--jobs 1`` runs the sweep inline (no worker processes), so
+    patching :mod:`repro.mapper.engine`'s ``find_route`` really routes
+    every probe through the reference Dijkstra.
+    """
+    from tests.reference_routing import reference_find_route
+    import repro.mapper.engine as engine_mod
+
+    original = engine_mod.find_route
+    engine_mod.find_route = reference_find_route
+    try:
+        return run_sweep(1, cache_dir, Instrumentation(), kernels, cgra)
+    finally:
+        engine_mod.find_route = original
+
+
+def _engine_counters(events) -> dict[str, float]:
+    """Summed place_route counters of one phase's event slice."""
+    rows = summarize(events)
+    return rows.get("place_route", {})
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_compile.json")
@@ -102,6 +151,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=None,
                         help="workers for the parallel sweep "
                              "(default: all usable cores)")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_compile.json to gate "
+                             "cold-compile regressions against")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="maximum tolerated cold-sweep slowdown vs. "
+                             "the baseline (fraction, default 0.25)")
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     jobs = max(2, jobs)  # the parallel phase must actually fan out
@@ -116,6 +171,7 @@ def main(argv: list[str] | None = None) -> int:
 
         cold = run_sweep(1, serial_dir, instrument,
                          STANDALONE_KERNELS, cgra)
+        cold_counters = _engine_counters(instrument.events)
         parallel = run_sweep(jobs, parallel_dir, instrument,
                              STANDALONE_KERNELS, cgra)
         # Fresh executor + memory cache over the parallel run's disk
@@ -123,10 +179,29 @@ def main(argv: list[str] | None = None) -> int:
         warm = run_sweep(1, parallel_dir, instrument,
                          STANDALONE_KERNELS, cgra)
         disk_entries = len(DiskCache(parallel_dir))
+        # Hot-path A/B, best-of-two per side, interleaved so each
+        # router also gets a run with the interpreter fully warmed up.
+        # Own Instrumentation: the extra sweeps must not inflate the
+        # per-pass table of the three canonical sweeps above.
+        reference = run_reference_sweep(os.path.join(tmp, "ref1"),
+                                        STANDALONE_KERNELS, cgra)
+        optimized2 = run_sweep(1, os.path.join(tmp, "serial2"),
+                               Instrumentation(), STANDALONE_KERNELS, cgra)
+        reference2 = run_reference_sweep(os.path.join(tmp, "ref2"),
+                                         STANDALONE_KERNELS, cgra)
 
     warm_speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
     parallel_speedup = cold["wall_s"] / max(parallel["wall_s"], 1e-9)
+    ref_s = min(reference["wall_s"], reference2["wall_s"])
+    opt_s = min(cold["wall_s"], optimized2["wall_s"])
+    hot_path_speedup = ref_s / max(opt_s, 1e-9)
     identical = cold["blobs"] == parallel["blobs"]
+    reference_identical = (
+        cold["blobs"] == reference["blobs"]
+        == optimized2["blobs"] == reference2["blobs"]
+    )
+    memo_hits = int(cold_counters.get("route_memo_hits", 0))
+    pruned = int(cold_counters.get("candidates_pruned", 0))
 
     payload = {
         "strategy": STRATEGY,
@@ -143,6 +218,19 @@ def main(argv: list[str] | None = None) -> int:
         "serial_parallel_identical": identical,
         "disk_entries": disk_entries,
         "cache": warm["cache"],
+        "hot_path": {
+            "reference_cold_s": round(ref_s, 3),
+            "optimized_cold_s": round(opt_s, 3),
+            "reference_samples_s": [round(reference["wall_s"], 3),
+                                    round(reference2["wall_s"], 3)],
+            "optimized_samples_s": [round(cold["wall_s"], 3),
+                                    round(optimized2["wall_s"], 3)],
+            "speedup": round(hot_path_speedup, 2),
+            "min_speedup": MIN_HOT_PATH_SPEEDUP,
+            "identical": reference_identical,
+            "route_memo_hits": memo_hits,
+            "candidates_pruned": pruned,
+        },
         "passes": {
             name: {k: round(v, 3) for k, v in row.items()}
             for name, row in summarize(instrument.events).items()
@@ -159,12 +247,23 @@ def main(argv: list[str] | None = None) -> int:
           f"{parallel['wall_s']:.2f}s ({parallel_speedup:.1f}x, "
           f"{effective} effective cores), warm {warm['wall_s']:.3f}s "
           f"-> {warm_speedup:.0f}x ({args.out})")
+    print(f"hot path: reference router {ref_s:.2f}s vs "
+          f"optimized {opt_s:.2f}s (best of two each) -> "
+          f"{hot_path_speedup:.2f}x, "
+          f"identical={reference_identical}, memo hits {memo_hits}, "
+          f"pruned {pruned}")
 
     if not identical:
         diff = [n for n in cold["blobs"]
                 if cold["blobs"][n] != parallel["blobs"][n]]
         print(f"FAIL: parallel mappings differ from serial on {diff}",
               file=sys.stderr)
+        return 1
+    if not reference_identical:
+        diff = [n for n in cold["blobs"]
+                if cold["blobs"][n] != reference["blobs"][n]]
+        print(f"FAIL: optimized router changed mappings vs. the "
+              f"reference on {diff}", file=sys.stderr)
         return 1
     misses = [n for n, k in warm["kernels"].items() if not k["cache_hit"]]
     if misses:
@@ -180,6 +279,29 @@ def main(argv: list[str] | None = None) -> int:
               f"faster than serial on {effective} cores "
               f"(need >= {MIN_PARALLEL_SPEEDUP}x)", file=sys.stderr)
         return 1
+    if hot_path_speedup < MIN_HOT_PATH_SPEEDUP:
+        print(f"FAIL: hot path only {hot_path_speedup:.2f}x faster than "
+              f"the reference router (need >= {MIN_HOT_PATH_SPEEDUP}x)",
+              file=sys.stderr)
+        return 1
+    if memo_hits <= 0 or pruned <= 0:
+        print(f"FAIL: hot-path counters silent (route_memo_hits="
+              f"{memo_hits}, candidates_pruned={pruned})", file=sys.stderr)
+        return 1
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        base_cold = float(baseline.get("cold_sweep_s", 0.0))
+        if base_cold > 0:
+            regression = cold["wall_s"] / base_cold - 1.0
+            print(f"baseline gate: cold {cold['wall_s']:.2f}s vs "
+                  f"committed {base_cold:.2f}s "
+                  f"({regression:+.0%} vs. limit +{args.max_regression:.0%})")
+            if regression > args.max_regression:
+                print(f"FAIL: cold sweep regressed {regression:.0%} vs. "
+                      f"{args.baseline} (limit "
+                      f"{args.max_regression:.0%})", file=sys.stderr)
+                return 1
     return 0
 
 

@@ -7,6 +7,7 @@ Usage::
     python -m repro map fir --strategy iced --show schedule,levels
     python -m repro stream gcn --inputs 80 --jobs 4
     python -m repro experiments fig9 --jobs 4     # same as -m repro.experiments
+    python -m repro profile fir --strategy iced   # cProfile one cold compile
     python -m repro cache stats                   # on-disk mapping cache
 """
 
@@ -167,6 +168,34 @@ def cmd_cache(args) -> int:
     width = max(len(k) for k in stats)
     for key, value in stats.items():
         print(f"{key:<{width}}  {value}")
+    if args.action == "stats":
+        effort = cache.engine_effort()
+        if effort.get("artifacts_with_stats"):
+            print("engine effort across cached artifacts:")
+            ewidth = max(len(k) for k in effort)
+            for key in sorted(effort):
+                print(f"  {key:<{ewidth}}  {effort[key]}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """One cold compile under cProfile: where does the time go?"""
+    import cProfile
+    import io
+    import pstats
+
+    cgra = _build_fabric(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = compile_kernel(args.kernel, cgra, strategy=args.strategy,
+                            unroll=args.unroll, use_cache=False)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(f"{args.kernel} ({args.strategy}) on {cgra.name}: "
+          f"II={result.mapping.ii}")
+    print(stream.getvalue())
     return 0
 
 
@@ -223,6 +252,20 @@ def main(argv: list[str] | None = None) -> int:
                              help="persistent on-disk mapping cache "
                                   "directory")
 
+    profile = sub.add_parser(
+        "profile", help="profile one cold compile (cProfile, top-N "
+                        "cumulative functions)"
+    )
+    profile.add_argument("kernel", choices=kernel_names())
+    profile.add_argument("--strategy", default="iced",
+                         choices=("baseline", "baseline+gating",
+                                  "per_tile_dvfs", "iced", "anneal"))
+    profile.add_argument("--unroll", type=int, default=1)
+    profile.add_argument("--cgra", default="6x6")
+    profile.add_argument("--island", default="2x2")
+    profile.add_argument("--top", type=int, default=20,
+                         help="functions to print (cumulative time)")
+
     cache = sub.add_parser(
         "cache", help="inspect the persistent on-disk mapping cache"
     )
@@ -242,6 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         "map": cmd_map,
         "stream": cmd_stream,
         "experiments": cmd_experiments,
+        "profile": cmd_profile,
         "cache": cmd_cache,
     }
     return handlers[args.command](args)

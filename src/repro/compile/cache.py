@@ -78,7 +78,11 @@ class MappingCache:
             self.stats.hits += 1
         return Mapping.from_dict(json.loads(blob), dfg, cgra)
 
-    def store(self, key: str, mapping: Mapping) -> None:
+    def store(self, key: str, mapping: Mapping, *,
+              engine_stats: dict[str, int] | None = None) -> None:
+        """Store a mapping (``engine_stats`` is accepted for protocol
+        compatibility with :class:`DiskCache`; the memory tier has no
+        envelope to embed it in)."""
         blob = json.dumps(mapping.to_dict(), sort_keys=True,
                           separators=(",", ":"))
         self.store_serialized(key, blob)

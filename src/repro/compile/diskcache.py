@@ -166,20 +166,31 @@ class DiskCache:
 
     # -- write path ---------------------------------------------------------
 
-    def store(self, key: str, mapping: Mapping) -> None:
+    def store(self, key: str, mapping: Mapping, *,
+              engine_stats: dict[str, int] | None = None) -> None:
         blob = json.dumps(mapping.to_dict(), sort_keys=True,
                           separators=(",", ":"))
-        self.store_serialized(key, blob, kernel=mapping.dfg.name)
+        self.store_serialized(key, blob, kernel=mapping.dfg.name,
+                              engine_stats=engine_stats)
 
     def store_serialized(self, key: str, blob: str,
-                         kernel: str = "") -> None:
-        """Publish a pre-serialized canonical mapping blob atomically."""
+                         kernel: str = "",
+                         engine_stats: dict[str, int] | None = None) -> None:
+        """Publish a pre-serialized canonical mapping blob atomically.
+
+        ``engine_stats`` optionally embeds the search-effort counters of
+        the compile that produced the artifact (an additive envelope
+        field: readers that don't know it ignore it, so the schema
+        version is unchanged and cache keys are unaffected).
+        """
         envelope = {
             "schema": SCHEMA_VERSION,
             "key": key,
             "kernel": kernel or json.loads(blob).get("kernel", ""),
             "mapping": json.loads(blob),
         }
+        if engine_stats:
+            envelope["engine_stats"] = dict(engine_stats)
         payload = json.dumps(envelope, sort_keys=True,
                              separators=(",", ":"))
         path = self._path(key)
@@ -297,6 +308,33 @@ class DiskCache:
         d["quarantine_files"] = self.quarantined_count()
         return d
 
+    def engine_effort(self) -> dict[str, int]:
+        """Aggregate engine search-effort counters across artifacts.
+
+        Sums the ``engine_stats`` embedded by cold compiles (artifacts
+        written before that field existed simply don't contribute), so
+        ``repro cache stats`` can show what the cached mappings cost to
+        produce — memo hits, pruned candidates, routes searched.
+        """
+        totals: dict[str, int] = {}
+        counted = 0
+        for path in self.artifact_paths():
+            try:
+                envelope = json.loads(path.read_bytes().decode("utf-8"))
+            except (OSError, ValueError, UnicodeDecodeError):
+                continue
+            if not isinstance(envelope, dict):
+                continue
+            stats = envelope.get("engine_stats")
+            if not isinstance(stats, dict):
+                continue
+            counted += 1
+            for name, value in stats.items():
+                if isinstance(value, int):
+                    totals[name] = totals.get(name, 0) + value
+        totals["artifacts_with_stats"] = counted
+        return totals
+
 
 @dataclass
 class TieredCache:
@@ -325,16 +363,20 @@ class TieredCache:
         self.memory.store_serialized(key, blob)
         return mapping
 
-    def store(self, key: str, mapping: Mapping) -> None:
+    def store(self, key: str, mapping: Mapping, *,
+              engine_stats: dict[str, int] | None = None) -> None:
         self.memory.store(key, mapping)
         blob = self.memory.serialized(key)
         if blob is not None:
-            self.disk.store_serialized(key, blob, kernel=mapping.dfg.name)
+            self.disk.store_serialized(key, blob, kernel=mapping.dfg.name,
+                                       engine_stats=engine_stats)
 
     def store_serialized(self, key: str, blob: str,
-                         kernel: str = "") -> None:
+                         kernel: str = "",
+                         engine_stats: dict[str, int] | None = None) -> None:
         self.memory.store_serialized(key, blob)
-        self.disk.store_serialized(key, blob, kernel=kernel)
+        self.disk.store_serialized(key, blob, kernel=kernel,
+                                   engine_stats=engine_stats)
 
     def serialized(self, key: str) -> str | None:
         blob = self.memory.serialized(key)

@@ -175,7 +175,8 @@ def _pass_place_route(ctx: CompileContext) -> None:
         counters["cache_hit"] = 0
         counters["ii"] = ctx.mapping.ii
         if ctx.use_cache:
-            cache.store(ctx.cache_key, ctx.mapping)
+            cache.store(ctx.cache_key, ctx.mapping,
+                        engine_stats=stats.as_counters())
 
 
 def _pass_post(ctx: CompileContext) -> None:

@@ -29,7 +29,7 @@ from repro.dfg.ops import Opcode
 from repro.errors import MappingError
 from repro.mapper.labeling import label_dvfs_levels
 from repro.mapper.mapping import Mapping, Placement, Route
-from repro.mapper.routing import find_route, route_claims
+from repro.mapper.routing import RouteMemo, find_route
 from repro.mapper.schedule import modulo_schedule_times
 from repro.mrrg.mrrg import MRRG, op_claims
 
@@ -106,7 +106,10 @@ class EngineStats:
     attempts: int = 0
     reschedules: int = 0
     candidates_probed: int = 0
+    candidates_pruned: int = 0
     routes_searched: int = 0
+    route_memo_hits: int = 0
+    route_memo_misses: int = 0
     placements_committed: int = 0
 
     def as_counters(self) -> dict[str, int]:
@@ -115,7 +118,10 @@ class EngineStats:
             "attempts": self.attempts,
             "reschedules": self.reschedules,
             "candidates_probed": self.candidates_probed,
+            "candidates_pruned": self.candidates_pruned,
             "routes_searched": self.routes_searched,
+            "route_memo_hits": self.route_memo_hits,
+            "route_memo_misses": self.route_memo_misses,
             "placements_committed": self.placements_committed,
         }
 
@@ -163,8 +169,25 @@ def map_dfg(dfg: DFG, cgra: CGRA, config: EngineConfig | None = None,
     )
     order = _schedule_order(dfg, analysis)
     start_ii = max(analysis.rec_mii, math.ceil(num_mappable / len(tiles)))
-    last_error = ""
     softening_steps = len(cgra.dvfs.levels) if config.dvfs_aware else 1
+    # One route memo for the whole run: its key includes the II and the
+    # pool's congestion epoch, so entries transfer safely between
+    # attempts (reschedules repeat most early placements verbatim).
+    memo = RouteMemo()
+    try:
+        return _deepen(dfg, cgra, config, analysis, stats, tiles, order,
+                       start_ii, softening_steps, memo)
+    finally:
+        stats.route_memo_hits += memo.hits
+        stats.route_memo_misses += memo.misses
+
+
+def _deepen(dfg: DFG, cgra: CGRA, config: EngineConfig,
+            analysis: DFGAnalysis, stats: EngineStats, tiles: list[int],
+            order: list[int], start_ii: int, softening_steps: int,
+            memo: RouteMemo) -> Mapping:
+    """The II-deepening outer loop of :func:`map_dfg` (Alg. 2)."""
+    last_error = ""
     for ii in range(start_ii, config.max_ii + 1):
         stats.iis_tried += 1
         for soften in range(softening_steps):
@@ -184,7 +207,8 @@ def map_dfg(dfg: DFG, cgra: CGRA, config: EngineConfig | None = None,
                 if retry:
                     stats.reschedules += 1
                 attempt = _Attempt(dfg, cgra, config, ii, labels, tiles,
-                                   floors, order=order, stats=stats)
+                                   floors, order=order, stats=stats,
+                                   memo=memo)
                 try:
                     return attempt.run()
                 except _AttemptFailed as exc:
@@ -309,7 +333,8 @@ class _Attempt:
                  ii: int, labels: dict[int, DVFSLevel], tiles: list[int],
                  floors: dict[int, int] | None = None, *,
                  order: list[int] | None = None,
-                 stats: EngineStats | None = None):
+                 stats: EngineStats | None = None,
+                 memo: RouteMemo | None = None):
         self.dfg = dfg
         self.cgra = cgra
         self.config = config
@@ -319,6 +344,7 @@ class _Attempt:
         self.floors = dict(floors or {})
         self.order = order
         self.stats = stats if stats is not None else EngineStats()
+        self.memo = memo
         self.mrrg = MRRG(cgra, ii, config.xbar_capacity)
         self.placements: dict[int, Placement] = {}
         self.routes: dict[int, Route] = {}
@@ -346,6 +372,18 @@ class _Attempt:
         for idx, edge in self.edges:
             self._in[edge.dst].append((idx, edge))
             self._out[edge.src].append((idx, edge))
+        # Cached per-tile slowdown vectors (see _slow_vector). Island
+        # levels are only ever added, never changed, so the dict length
+        # is a valid version stamp.
+        self._slow_version = -1
+        self._slow_base: tuple[int, ...] = ()
+        self._slow_variants: dict[tuple, tuple[int, ...]] = {}
+        # Opcode/tile latencies are static for the lifetime of a run.
+        self._op_cycles_cache: dict[int, int] = {}
+        # A placed node's ready time never changes while it stays
+        # placed (its island's level is fixed at commit); any caller
+        # that *removes* a placement must drop the cache entry.
+        self._ready_cache: dict[int, int] = {}
 
     # -- helpers ------------------------------------------------------------
 
@@ -364,6 +402,39 @@ class _Attempt:
 
         return slowdown_of
 
+    def _slow_vector(self, candidate_island: int | None,
+                     candidate_level: DVFSLevel | None) -> tuple[int, ...]:
+        """The per-tile values of :meth:`_slowdown_fn`, as a tuple.
+
+        Rebuilt only when an island gains a level; the per-candidate
+        variant (one fresh island hypothetically opened at
+        ``candidate_level``) is a cached copy-and-patch of the base.
+        """
+        version = len(self.island_levels)
+        if version != self._slow_version:
+            fn = self._slowdown_fn(None, None)
+            self._slow_base = tuple(
+                fn(t) for t in range(self.cgra.num_tiles)
+            )
+            self._slow_version = version
+            self._slow_variants = {}
+        if candidate_island is None or candidate_island in self.island_levels:
+            return self._slow_base
+        key = (candidate_island, candidate_level)
+        vec = self._slow_variants.get(key)
+        if vec is None:
+            s = 1 if (candidate_level is None or candidate_level.is_gated) \
+                else candidate_level.slowdown
+            if s == 1:
+                vec = self._slow_base
+            else:
+                patched = list(self._slow_base)
+                for t in self.cgra.islands[candidate_island].tile_ids:
+                    patched[t] = s
+                vec = tuple(patched)
+            self._slow_variants[key] = vec
+        return vec
+
     def _tile_level(self, tile: int, candidate_island: int | None,
                     candidate_level: DVFSLevel | None) -> DVFSLevel | None:
         island = self.cgra.island_of(tile).id
@@ -373,13 +444,22 @@ class _Attempt:
         return level
 
     def _op_cycles(self, node: int, tile: int) -> int:
-        """Own-clock latency of ``node`` on ``tile``'s FU."""
-        return self.cgra.op_latency(tile, self.dfg.node(node).opcode)
+        """Own-clock latency of ``node`` on ``tile``'s FU (memoized)."""
+        key = (node << 16) | tile
+        cycles = self._op_cycles_cache.get(key)
+        if cycles is None:
+            cycles = self.cgra.op_latency(tile, self.dfg.node(node).opcode)
+            self._op_cycles_cache[key] = cycles
+        return cycles
 
     def _ready(self, node: int) -> int:
-        p = self.placements[node]
-        level = self.island_levels[self.cgra.island_of(p.tile).id]
-        return p.time + self._op_cycles(node, p.tile) * level.slowdown
+        ready = self._ready_cache.get(node)
+        if ready is None:
+            p = self.placements[node]
+            level = self.island_levels[self.cgra.island_of(p.tile).id]
+            ready = p.time + self._op_cycles(node, p.tile) * level.slowdown
+            self._ready_cache[node] = ready
+        return ready
 
     # -- main loop ------------------------------------------------------------
 
@@ -439,9 +519,24 @@ class _Attempt:
                 if not assigned.at_least_as_fast_as(label):
                     continue  # Alg. 2 line 17: never onto a slower island
                 options = [(assigned, False)]
+            if not options:
+                continue
+            # Oracle pruning: the issue-time window only shrinks as the
+            # op slows down, so an empty window at the fastest available
+            # level means every option would fail its first feasibility
+            # check — skip the tile without probing.
+            s_best = self._op_cycles(node, tile) * min(
+                level.slowdown for level, _fresh in options
+            )
+            earliest, latest = self._time_window(node, tile, s_best)
+            if earliest > latest:
+                self.stats.candidates_pruned += len(options)
+                continue
             for level, fresh in options:
                 self.stats.candidates_probed += 1
-                result = self._try_tile(node, tile, level, island)
+                result = self._try_tile(node, tile, level, island,
+                                        s_hint=s_best,
+                                        window=(earliest, latest))
                 if result is None:
                     continue
                 feasible += 1
@@ -524,8 +619,9 @@ class _Attempt:
             for _i, e in self._out[node] if e.dst in self.placements
         ]
         if anchors:
+            dist = self.cgra._distance
             tiles.sort(key=lambda t: (
-                sum(self.cgra.distance(t, a) for a in anchors), t
+                sum(dist[t][a] for a in anchors), t
             ))
         if self.config.beam_width and len(tiles) > self.config.beam_width:
             tiles = tiles[: self.config.beam_width]
@@ -533,39 +629,58 @@ class _Attempt:
 
     def _time_window(self, node: int, tile: int,
                      slowdown: int) -> tuple[int, int]:
+        dist = self.cgra._distance
+        placements = self.placements
         earliest = self.asap[node]
         for _idx, edge in self._in[node]:
-            if edge.src not in self.placements:
+            src = placements.get(edge.src)
+            if src is None:
                 continue
-            src = self.placements[edge.src]
             bound = (
                 self._ready(edge.src)
-                + self.cgra.distance(src.tile, tile)
+                + dist[src.tile][tile]
                 - edge.dist * self.ii
             )
-            earliest = max(earliest, bound)
+            if bound > earliest:
+                earliest = bound
         latest = earliest + self.ii - 1 + self.config.extra_window
+        tile_row = dist[tile]
         for _idx, edge in self._out[node]:
-            if edge.dst not in self.placements or edge.dst == node:
+            if edge.dst == node:
                 continue
-            dst = self.placements[edge.dst]
+            dst = placements.get(edge.dst)
+            if dst is None:
+                continue
             bound = (
                 dst.time + edge.dist * self.ii
-                - slowdown - self.cgra.distance(tile, dst.tile)
+                - slowdown - tile_row[dst.tile]
             )
-            latest = min(latest, bound)
+            if bound < latest:
+                latest = bound
         return earliest, latest
 
     def _try_tile(self, node: int, tile: int, level: DVFSLevel,
-                  island: int) -> tuple[int, int] | None:
+                  island: int, s_hint: int | None = None,
+                  window: tuple[int, int] | None = None,
+                  ) -> tuple[int, int] | None:
         """First issue time in the window at which all adjacent edges
-        route; returns (time, total route latency) or None."""
+        route; returns (time, total route latency) or None.
+
+        ``window`` optionally carries a precomputed ``_time_window``
+        result for op duration ``s_hint`` (the candidate loop already
+        computed it for its pruning check); it is used only when the
+        durations actually agree.
+        """
         s = self._op_cycles(node, tile) * level.slowdown
-        earliest, latest = self._time_window(node, tile, s)
+        if window is not None and s == s_hint:
+            earliest, latest = window
+        else:
+            earliest, latest = self._time_window(node, tile, s)
         slowdown_of = self._slowdown_fn(island, level)
+        slow = self._slow_vector(island, level)
         t = earliest
         while t <= latest:
-            outcome = self._probe(node, tile, t, s, slowdown_of)
+            outcome = self._probe(node, tile, t, s, slowdown_of, slow)
             if isinstance(outcome, tuple):
                 return t, outcome[1]
             if outcome is _BREAK:
@@ -573,21 +688,24 @@ class _Attempt:
             t += outcome  # jump forward by the observed shortfall
         return None
 
-    def _probe(self, node: int, tile: int, t: int, s: int, slowdown_of):
+    def _probe(self, node: int, tile: int, t: int, s: int, slowdown_of,
+               slow: tuple[int, ...]):
         """Try one (tile, t); returns (routes, latency), a forward jump
         (int >= 1), or _BREAK when larger t cannot help."""
-        token = self.mrrg.checkpoint()
-        try:
-            self.mrrg.claim_all(op_claims(tile, t, s))
-        except MappingError:
-            self.mrrg.rollback(token)
+        # The op claim is a single FU interval whose flat resource id is
+        # the tile id itself; probing it read-only first skips the
+        # checkpoint/raise/rollback round-trip of a doomed claim.
+        pool = self.mrrg.pool
+        if not pool.interval_free(tile, t, s):
             return 1
-        outcome = self._route_adjacent(node, tile, t, s, slowdown_of)
-        self.mrrg.rollback(token)
+        token = pool.checkpoint()
+        pool.claim_rid(tile, t, s)  # the FU rid is the tile id
+        outcome = self._route_adjacent(node, tile, t, s, slowdown_of, slow)
+        pool.rollback(token)
         return outcome
 
     def _route_adjacent(self, node: int, tile: int, t: int, s: int,
-                        slowdown_of):
+                        slowdown_of, slow: tuple[int, ...]):
         """Route every edge between ``node`` and already-placed nodes,
         claiming as it goes (caller owns rollback).
 
@@ -609,7 +727,7 @@ class _Attempt:
             deadline = t + edge.dist * self.ii
             route, probe = self._route_one(
                 idx, edge, src.tile, ready, tile, deadline, slowdown_of,
-                horizon=deadline + self.ii,
+                slow, horizon=deadline + self.ii,
             )
             if route is None:
                 if probe is not None and probe > deadline:
@@ -623,9 +741,16 @@ class _Attempt:
                 # Self-loop: value waits on this tile across iterations.
                 ready = t + s
                 deadline = t + edge.dist * self.ii
-                route, _probe = self._route_one(idx, edge, tile, ready,
-                                                tile, deadline, slowdown_of)
+                route, probe = self._route_one(idx, edge, tile, ready,
+                                               tile, deadline, slowdown_of,
+                                               slow)
                 if route is None:
+                    if probe is not None and probe > deadline:
+                        # The wait starts after the op retires; issuing
+                        # later cannot shrink it, so the shortfall is
+                        # constant — jump straight past the hopeless
+                        # issue times instead of crawling.
+                        return probe - deadline
                     return 1
                 routes[idx] = route
                 continue
@@ -635,7 +760,8 @@ class _Attempt:
             ready = t + s
             deadline = dst.time + edge.dist * self.ii
             route, probe = self._route_one(idx, edge, tile, ready,
-                                           dst.tile, deadline, slowdown_of)
+                                           dst.tile, deadline, slowdown_of,
+                                           slow)
             if route is None:
                 # The consumer's deadline is fixed; issuing this node
                 # later only makes it worse.
@@ -646,17 +772,17 @@ class _Attempt:
 
     def _route_one(self, idx: int, edge: DFGEdge, src_tile: int, ready: int,
                    dst_tile: int, deadline: int, slowdown_of,
-                   horizon: int | None = None,
+                   slow: tuple[int, ...], horizon: int | None = None,
                    ) -> tuple[Route | None, int | None]:
         self.stats.routes_searched += 1
         found, probe = find_route(self.mrrg, slowdown_of, src_tile, ready,
-                                  dst_tile, deadline, horizon=horizon)
+                                  dst_tile, deadline, horizon=horizon,
+                                  memo=self.memo, slow=slow)
         if found is None:
             return None, probe
-        claims = route_claims(found.path, ready, found.depart, deadline,
-                              slowdown_of)
         try:
-            self.mrrg.claim_all(claims)
+            self.mrrg.pool.claim_route(found.path, ready, found.depart,
+                                       deadline, slow)
         except MappingError:
             return None, probe
         route = Route(
@@ -678,9 +804,11 @@ class _Attempt:
         if self.island_levels.get(island) is None:
             self.island_levels[island] = level
         slowdown_of = self._slowdown_fn(None, None)
+        slow = self._slow_vector(None, None)
         duration = self._op_cycles(node, tile) * level.slowdown
         self.mrrg.claim_all(op_claims(tile, t, duration))
-        routed = self._route_adjacent(node, tile, t, duration, slowdown_of)
+        routed = self._route_adjacent(node, tile, t, duration, slowdown_of,
+                                      slow)
         if not isinstance(routed, tuple):
             raise MappingError(
                 f"commit failed for node {node} on tile {tile} at t={t}; "

@@ -95,6 +95,7 @@ def _search(attempt: _Attempt, order: list[int], depth: int,
         duration = cgra.op_latency(tile, opcode) * level.slowdown
         earliest, latest = attempt._time_window(node, tile, duration)
         slowdown_of = attempt._slowdown_fn(None, None)
+        slow = attempt._slow_vector(None, None)
         for t in range(earliest, latest + 1):
             stats.probes += 1
             if stats.probes > max_probes:
@@ -108,7 +109,7 @@ def _search(attempt: _Attempt, order: list[int], depth: int,
                 attempt.mrrg.rollback(token)
                 continue
             routed = attempt._route_adjacent(node, tile, t, duration,
-                                             slowdown_of)
+                                             slowdown_of, slow)
             if not isinstance(routed, tuple):
                 attempt.mrrg.rollback(token)
                 if routed is _BREAK:
@@ -122,6 +123,7 @@ def _search(attempt: _Attempt, order: list[int], depth: int,
                 return True
             stats.backtracks += 1
             del attempt.placements[node]
+            attempt._ready_cache.pop(node, None)
             attempt.routes = saved_routes
             attempt.mrrg.rollback(token)
     return False

@@ -15,9 +15,25 @@ occupies multiple units of a capacity resource in the same slot (a value
 waiting 2*II cycles needs two registers), which is why usage is counted,
 not boolean.
 
+Storage is a flat array: every resource gets a dense integer id (FUs,
+then crossbars, then register files, then links, in tile order), and
+usage lives at ``rid * II + slot`` in one list of ints. The router reads
+that list directly on its hot path; the undo log is a list of flat
+indices. The id layout is a function of the fabric alone, so it is
+computed once and cached on the :class:`CGRA` instance, shared by every
+pool (any II, any crossbar capacity) built over that fabric.
+
 The pool is transactional: :meth:`checkpoint` / :meth:`rollback` undo
 claims, which the placement engine uses to back out of failed candidate
 placements.
+
+Every mutation also maintains :attr:`epoch`, an order-independent
+Zobrist hash over the usage counts of *routing-visible* resources
+(links, crossbars, registers — FU occupancy is never read by the
+router). Two pools over the same fabric and II whose routing-visible
+counts are equal have equal epochs regardless of claim order or
+intervening rollbacks, which is what makes the epoch a sound route-memo
+invalidation key.
 """
 
 from __future__ import annotations
@@ -47,6 +63,72 @@ def reg_key(tile: int) -> ResourceKey:
     return ("reg", tile)
 
 
+_M64 = (1 << 64) - 1
+
+
+def _mix64(x: int) -> int:
+    """SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer."""
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def _zvalue(index: int, count: int) -> int:
+    """Zobrist value of "flat cell ``index`` holds ``count`` units"."""
+    return _mix64((index + 1) * 0x9E3779B97F4A7C15 ^ count * 0xD1B54A32D192ED03)
+
+
+#: Cache of XOR deltas for the count transition c -> c+1 of one cell,
+#: keyed ``index << 4 | count`` (counts never exceed the largest
+#: capacity, 8, so 4 bits suffice; int keys hash much faster than
+#: tuples on the claim/rollback hot path).
+_WTAB: dict[int, int] = {}
+
+
+def _wdelta(index: int, count: int) -> int:
+    key = (index << 4) | count
+    w = _WTAB.get(key)
+    if w is None:
+        w = _zvalue(index, count) ^ _zvalue(index, count + 1)
+        _WTAB[key] = w
+    return w
+
+
+def _fabric_layout(cgra: CGRA):
+    """The fabric's dense resource-id layout (cached on the CGRA).
+
+    Returns ``(rids, keys, link_rows, reg_caps)`` where ``rids`` maps
+    every resource key to its dense id, ``keys`` is the inverse, and
+    ``link_rows[tile][k]`` is the id of the link to the k-th entry of
+    ``cgra._neighbors[tile]`` (the router walks neighbours in exactly
+    that order).
+    """
+    layout = getattr(cgra, "_mrrg_layout", None)
+    if layout is not None:
+        return layout
+    num = cgra.num_tiles
+    rids: dict[ResourceKey, int] = {}
+    keys: list[ResourceKey] = []
+    for kind in ("fu", "xbar", "reg"):
+        for tile in range(num):
+            rids[(kind, tile)] = len(keys)
+            keys.append((kind, tile))
+    link_rows = []
+    for tile in range(num):
+        row = []
+        for neighbor in cgra._neighbors[tile]:
+            key = ("link", tile, neighbor)
+            rids[key] = len(keys)
+            row.append(len(keys))
+            keys.append(key)
+        link_rows.append(tuple(row))
+    reg_caps = tuple(cgra.tile(t).num_registers for t in range(num))
+    layout = (rids, tuple(keys), tuple(link_rows), reg_caps)
+    cgra._mrrg_layout = layout
+    return layout
+
+
 class ModuloResourcePool:
     """Usage counts for every (resource, slot) pair of an II-cycle MRRG."""
 
@@ -56,8 +138,44 @@ class ModuloResourcePool:
         self.cgra = cgra
         self.ii = ii
         self.xbar_capacity = xbar_capacity
-        self._usage: dict[tuple[ResourceKey, int], int] = {}
-        self._log: list[tuple[ResourceKey, int]] = []
+        rids, keys, link_rows, reg_caps = _fabric_layout(cgra)
+        num = cgra.num_tiles
+        self.num_tiles = num
+        self._rids = rids
+        self._keys = keys
+        self.link_rows = link_rows
+        self._caps: list[int] = (
+            [1] * num + [xbar_capacity] * num + list(reg_caps)
+            + [1] * (len(keys) - 3 * num)
+        )
+        #: Flat usage counts, indexed ``rid * ii + slot``. The router
+        #: reads this directly (read-only) on its hot path.
+        self._use: list[int] = [0] * (len(keys) * ii)
+        #: Router adjacency: per tile, ``(link_base, neighbor,
+        #: xbar_base)`` triples with the ``* ii`` offsets pre-applied,
+        #: in ``cgra._neighbors`` order.
+        self.adj: tuple[tuple[tuple[int, int, int], ...], ...] = tuple(
+            tuple(
+                (lrid * ii, nbr, (num + nbr) * ii)
+                for lrid, nbr in zip(link_rows[t], cgra._neighbors[t])
+            )
+            for t in range(num)
+        )
+        self._log: list[int] = []
+        # Flat indices below this belong to FU resources; only cells at
+        # or above it feed the routing-visibility epoch.
+        self._fu_end = num * ii
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Zobrist hash of the routing-visible usage counts.
+
+        Equal epochs mean (up to hash collision) equal link/xbar/reg
+        occupancy, hence identical router outcomes for identical
+        queries — the route memo's invalidation key.
+        """
+        return self._epoch
 
     # -- capacities ---------------------------------------------------------
 
@@ -74,7 +192,10 @@ class ModuloResourcePool:
     # -- queries ------------------------------------------------------------
 
     def used(self, key: ResourceKey, slot: int) -> int:
-        return self._usage.get((key, slot % self.ii), 0)
+        rid = self._rids.get(key)
+        if rid is None:
+            return 0
+        return self._use[rid * self.ii + slot % self.ii]
 
     def is_free(self, key: ResourceKey, start: int, length: int,
                 amount: int = 1) -> bool:
@@ -87,9 +208,46 @@ class ModuloResourcePool:
             return True
         self._check_length(length)
         cap = self.capacity(key)
-        per_slot = self._slot_counts(start, length)
-        for slot, times in per_slot.items():
-            if self.used(key, slot) + amount * times > cap:
+        rid = self._rids.get(key)
+        ii = self.ii
+        use = self._use
+        base = None if rid is None else rid * ii
+        start %= ii
+        if length >= ii:
+            full, rem = divmod(length, ii)
+            for slot in range(ii):
+                times = full + (1 if (slot - start) % ii < rem else 0)
+                held = 0 if base is None else use[base + slot]
+                if held + amount * times > cap:
+                    return False
+            return True
+        for k in range(length):
+            held = 0 if base is None else use[base + (start + k) % ii]
+            if held + amount > cap:
+                return False
+        return True
+
+    def interval_free(self, rid: int, start: int, length: int) -> bool:
+        """Fast-path :meth:`is_free` for one more unit of a known rid."""
+        if length <= 0:
+            return True
+        if length > MAX_CLAIM_LENGTH:
+            return False
+        ii = self.ii
+        use = self._use
+        cap = self._caps[rid]
+        base = rid * ii
+        start %= ii
+        if length >= ii:
+            full, rem = divmod(length, ii)
+            for slot in range(ii):
+                if use[base + slot] + full + (
+                    1 if (slot - start) % ii < rem else 0
+                ) > cap:
+                    return False
+            return True
+        for k in range(length):
+            if use[base + (start + k) % ii] >= cap:
                 return False
         return True
 
@@ -99,16 +257,112 @@ class ModuloResourcePool:
         """Claim the interval; raises :class:`MappingError` if it overflows."""
         if length <= 0:
             return
+        rid = self._rids.get(key)
+        if rid is None:
+            self.capacity(key)  # raises on unknown kinds
+            raise MappingError(f"unknown resource {key!r} on {self.cgra.name}")
+        self.claim_rid(rid, start, length)
+
+    def claim_rid(self, rid: int, start: int, length: int) -> None:
+        """:meth:`claim` for a known flat resource id (skips the key
+        lookup; FU rids equal their tile ids). ``length`` must be > 0."""
+        ii = self.ii
+        base = rid * ii
+        cap = self._caps[rid]
+        use = self._use
+        if length == 1:
+            # Single-cycle claims (every hop on an un-slowed tile)
+            # dominate; skip the loop machinery.
+            index = base + start % ii
+            count = use[index]
+            if count >= cap:
+                raise MappingError(
+                    f"resource {self._keys[rid]} oversubscribed at slots "
+                    f"[{start}, {start + 1}) mod {ii}"
+                )
+            use[index] = count + 1
+            self._log.append(index)
+            if index >= self._fu_end:
+                w = _WTAB.get((index << 4) | count)
+                self._epoch ^= _wdelta(index, count) if w is None else w
+            return
         self._check_length(length)
-        if not self.is_free(key, start, length):
+        log = self._log
+        mark = len(log)
+        fu_end = self._fu_end
+        epoch = self._epoch
+        wtab_get = _WTAB.get
+        overflow = False
+        slot = start % ii
+        for _ in range(length):
+            index = base + slot
+            slot += 1
+            if slot == ii:
+                slot = 0
+            count = use[index]
+            if count >= cap:
+                overflow = True
+                break
+            use[index] = count + 1
+            log.append(index)
+            if index >= fu_end:
+                w = wtab_get((index << 4) | count)
+                epoch ^= _wdelta(index, count) if w is None else w
+        if overflow:
+            # Undo the partial write so a failed claim is a no-op.
+            while len(log) > mark:
+                index = log.pop()
+                count = use[index] = use[index] - 1
+                if index >= fu_end:
+                    epoch ^= _wdelta(index, count)
+            self._epoch = epoch
             raise MappingError(
-                f"resource {key} oversubscribed at slots "
+                f"resource {self._keys[rid]} oversubscribed at slots "
                 f"[{start}, {start + length}) mod {self.ii}"
             )
-        for t in range(start, start + length):
-            slot = t % self.ii
-            self._usage[(key, slot)] = self._usage.get((key, slot), 0) + 1
-            self._log.append((key, slot))
+        self._epoch = epoch
+
+    def claim_route(self, path: tuple[int, ...], ready: int, depart: int,
+                    deadline: int, slow) -> None:
+        """Fused, rid-direct equivalent of ``claim_all(route_claims(...))``.
+
+        Claims exactly what :func:`repro.mapper.routing.route_claims`
+        enumerates, in the same order, atomically (everything is rolled
+        back before the :class:`MappingError` propagates). ``slow`` is
+        an indexable per-tile slowdown vector.
+        """
+        token = len(self._log)
+        try:
+            reg0 = 2 * self.num_tiles
+            if len(path) == 1:
+                if deadline > ready:
+                    self.claim_rid(reg0 + path[0], ready, deadline - ready)
+                return
+            if depart > ready:
+                self.claim_rid(reg0 + path[0], ready, depart - ready)
+            ii = self.ii
+            adj = self.adj
+            t = depart
+            prev = path[0]
+            for nxt in path[1:]:
+                s = slow[nxt]
+                for link_base, neighbor, xbar_base in adj[prev]:
+                    if neighbor == nxt:
+                        self.claim_rid(link_base // ii, t, s)
+                        self.claim_rid(xbar_base // ii, t, s)
+                        break
+                else:
+                    raise MappingError(
+                        f"unknown resource {('link', prev, nxt)!r} on "
+                        f"{self.cgra.name}"
+                    )
+                t += s
+                prev = nxt
+            if deadline > t:
+                self.claim_rid(reg0 + prev, t, deadline - t)
+        except Exception:
+            self.rollback(token)
+            raise
 
     def checkpoint(self) -> int:
         """A token for :meth:`rollback`."""
@@ -116,39 +370,75 @@ class ModuloResourcePool:
 
     def rollback(self, token: int) -> None:
         """Undo every claim made after ``token`` was taken."""
-        while len(self._log) > token:
-            key, slot = self._log.pop()
-            remaining = self._usage[(key, slot)] - 1
-            if remaining:
-                self._usage[(key, slot)] = remaining
-            else:
-                del self._usage[(key, slot)]
+        log = self._log
+        use = self._use
+        fu_end = self._fu_end
+        epoch = self._epoch
+        wtab_get = _WTAB.get
+        while len(log) > token:
+            index = log.pop()
+            count = use[index] = use[index] - 1
+            if index >= fu_end:
+                w = wtab_get((index << 4) | count)
+                epoch ^= _wdelta(index, count) if w is None else w
+        self._epoch = epoch
 
     # -- statistics -------------------------------------------------------------
 
     def busy_slots(self, key: ResourceKey) -> int:
         """Distinct busy slots of one resource (<= II)."""
-        return sum(
-            1 for (k, _slot), used in self._usage.items()
-            if k == key and used > 0
-        )
+        rid = self._rids.get(key)
+        if rid is None:
+            return 0
+        base = rid * self.ii
+        use = self._use
+        return sum(1 for slot in range(self.ii) if use[base + slot] > 0)
 
     def tile_busy_slots(self, tile: int, kinds: tuple[str, ...] = ("fu", "xbar")) -> int:
         """Distinct slots in which the tile's FU or crossbar is active."""
-        slots = set()
-        for (key, slot), used in self._usage.items():
-            if used > 0 and key[0] in kinds and key[1] == tile:
-                slots.add(slot)
-        return len(slots)
+        num = self.num_tiles
+        ii = self.ii
+        if kinds == ("fu", "xbar"):
+            # The default (the engine's pressure metric) is hot.
+            use = self._use
+            fu_base = tile * ii
+            xbar_base = (num + tile) * ii
+            return sum(
+                1 for slot in range(ii)
+                if use[fu_base + slot] or use[xbar_base + slot]
+            )
+        rids: list[int] = []
+        for kind in kinds:
+            if kind == "fu":
+                rids.append(tile)
+            elif kind == "xbar":
+                rids.append(num + tile)
+            elif kind == "reg":
+                rids.append(2 * num + tile)
+            elif kind == "link":
+                rids.extend(self.link_rows[tile])
+        ii = self.ii
+        use = self._use
+        busy = 0
+        for slot in range(ii):
+            if any(use[rid * ii + slot] for rid in rids):
+                busy += 1
+        return busy
+
+    def usage_snapshot(self) -> dict[tuple[ResourceKey, int], int]:
+        """Nonzero usage counts as ``{(key, slot): count}`` (for tests)."""
+        ii = self.ii
+        use = self._use
+        snapshot: dict[tuple[ResourceKey, int], int] = {}
+        for rid, key in enumerate(self._keys):
+            base = rid * ii
+            for slot in range(ii):
+                count = use[base + slot]
+                if count:
+                    snapshot[(key, slot)] = count
+        return snapshot
 
     # -- internals ------------------------------------------------------------
-
-    def _slot_counts(self, start: int, length: int) -> dict[int, int]:
-        counts: dict[int, int] = {}
-        for t in range(start, start + length):
-            slot = t % self.ii
-            counts[slot] = counts.get(slot, 0) + 1
-        return counts
 
     def _check_length(self, length: int) -> None:
         if length > MAX_CLAIM_LENGTH:

@@ -1,0 +1,132 @@
+"""The pre-optimization reference router, kept verbatim for testing.
+
+This is the plain Dijkstra ``find_route`` the optimized router in
+:mod:`repro.mapper.routing` must agree with: no distance oracle, no
+memo, no deadline-tight first pass, tuple-keyed states, occupancy read
+through the pool's public API. The differential property suite runs
+both on random fabrics and claims and requires identical answers; the
+perf bench monkeypatches this implementation into the placement engine
+to measure the hot-path speedup inside one process.
+
+Behavioural differences, both deliberate:
+
+* ``deadline < ready`` on a same-tile query: the reference returns
+  ``(None, None)``; the optimized router returns ``(None, ready)`` so
+  the engine can jump its issue time instead of crawling.
+* a blocked same-tile wait: the reference reports ``(None, ready)``;
+  the optimized router reports the latest deadline the source
+  registers could actually hold the value for.
+
+Everything else — success results, probes of src != dst queries — must
+match exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.mapper.routing import RouteResult, SlowdownFn
+from repro.mrrg.mrrg import MRRG, wait_claims
+from repro.mrrg.resources import reg_key
+
+
+def reference_find_route(mrrg: MRRG, slowdown_of: SlowdownFn,
+                         src_tile: int, ready: int, dst_tile: int,
+                         deadline: int, max_wait: int | None = None,
+                         horizon: int | None = None,
+                         **_ignored,
+                         ) -> tuple[RouteResult | None, int | None]:
+    """Earliest-arrival route search, unaccelerated.
+
+    Accepts (and ignores) the optimized router's extra keyword
+    arguments (``memo``, ``slow``) so it can be substituted for it.
+    """
+    if horizon is None:
+        horizon = deadline
+    horizon = max(horizon, deadline)
+    if deadline < ready:
+        return None, None
+    pool = mrrg.pool
+
+    if src_tile == dst_tile:
+        if mrrg.is_free(wait_claims(src_tile, ready, deadline)):
+            return RouteResult((src_tile,), ready, ready), ready
+        return None, ready
+
+    max_wait = deadline - ready if max_wait is None else min(
+        max_wait, deadline - ready
+    )
+    max_wait = min(max_wait, 2 * mrrg.ii)
+
+    ii = mrrg.ii
+    num_tiles = mrrg.cgra.num_tiles
+    slow = [slowdown_of(t) for t in range(num_tiles)]
+    neighbors = mrrg.cgra._neighbors
+    xbar_cap = pool.xbar_capacity
+    used = pool.used
+
+    # Seed states: depart after waiting w cycles in the source
+    # registers; the wait's feasibility is monotone in w, so stop at
+    # the first blocked prefix.
+    heap: list[tuple[int, int, int]] = []  # (time, tile, depart)
+    parents: dict[tuple[int, int], tuple[int, int] | None] = {}
+    reg_src = reg_key(src_tile)
+    reg_cap = pool.capacity(reg_src)
+    for wait in range(max_wait + 1):
+        if wait and used(reg_src, ready + wait - 1) >= reg_cap:
+            break
+        t = ready + wait
+        state = (src_tile, t)
+        if state not in parents:
+            parents[state] = None
+            heapq.heappush(heap, (t, src_tile, t))
+
+    earliest_arrival: int | None = None
+    settled: set[tuple[int, int]] = set()
+    while heap:
+        t, tile, depart = heapq.heappop(heap)
+        state = (tile, t)
+        if state in settled:
+            continue
+        settled.add(state)
+
+        if tile == dst_tile:
+            if earliest_arrival is None:
+                earliest_arrival = t
+            if t <= deadline and mrrg.is_free(
+                wait_claims(dst_tile, t, deadline)
+            ):
+                return RouteResult(_reconstruct(parents, state), depart, t), t
+            continue  # a later arrival may find free registers
+
+        for neighbor in neighbors[tile]:
+            s = slow[neighbor]
+            arrive = t + s
+            if arrive > horizon:
+                continue
+            nxt = (neighbor, arrive)
+            if nxt in settled or nxt in parents:
+                continue
+            lkey = ("link", tile, neighbor)
+            xkey = ("xbar", neighbor)
+            blocked = False
+            for step in range(t, arrive):
+                slot = step % ii
+                if used(lkey, slot) >= 1 or used(xkey, slot) >= xbar_cap:
+                    blocked = True
+                    break
+            if blocked:
+                continue
+            parents[nxt] = state
+            heapq.heappush(heap, (arrive, neighbor, depart))
+    return None, earliest_arrival
+
+
+def _reconstruct(parents: dict, state: tuple[int, int]) -> tuple[int, ...]:
+    path = []
+    current: tuple[int, int] | None = state
+    while current is not None:
+        path.append(current[0])
+        current = parents[current]
+    path.reverse()
+    return tuple(path)

@@ -157,3 +157,23 @@ class TestMapDfgFlagHandling:
         assert mapping.strategy == "baseline"
         mapping = map_dvfs_aware(fig1, cgra44, EngineConfig())
         assert mapping.strategy == "iced"
+
+
+class TestEngineStats:
+    def test_hot_path_counters_nonzero(self, cgra66):
+        from repro.mapper.engine import EngineStats
+
+        stats = EngineStats()
+        mapping = map_dfg(load_kernel("fir", 1), cgra66,
+                          EngineConfig(dvfs_aware=True), stats=stats)
+        validate_mapping(mapping)
+        counters = stats.as_counters()
+        # The memo serves at least every commit re-route, and the
+        # oracle prunes at least some window-infeasible tiles on fir.
+        assert counters["route_memo_hits"] > 0
+        assert counters["route_memo_misses"] > 0
+        assert counters["candidates_pruned"] > 0
+        assert counters["routes_searched"] > 0
+        # Every counter the pipeline surfaces is present and an int.
+        for name, value in counters.items():
+            assert isinstance(value, int), name

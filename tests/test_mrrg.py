@@ -138,3 +138,47 @@ class TestMRRG:
         out_deg = dict(g.out_degree())
         assert out_deg[("tile", 0, 0)] == 1 + 2
         assert out_deg[("tile", 5, 1)] == 1 + 4
+
+
+class TestCongestionEpoch:
+    """The Zobrist epoch is the route memo's invalidation key: it must
+    track exactly the routing-visible occupancy (links, xbars,
+    registers), ignore FU-only changes, and be order-independent."""
+
+    def test_routing_visible_claim_bumps_epoch(self, pool):
+        before = pool.epoch
+        pool.claim(link_key(0, 1), 0, 2)
+        assert pool.epoch != before
+
+    def test_fu_claim_leaves_epoch_unchanged(self, pool):
+        before = pool.epoch
+        pool.claim(fu_key(3), 1, 2)
+        assert pool.epoch == before
+
+    def test_rollback_restores_epoch(self, pool):
+        pool.claim(xbar_key(2), 0, 3)
+        before = pool.epoch
+        token = pool.checkpoint()
+        pool.claim(reg_key(1), 2, 5)
+        pool.claim(link_key(1, 2), 0, 1)
+        assert pool.epoch != before
+        pool.rollback(token)
+        assert pool.epoch == before
+
+    def test_epoch_is_order_independent(self, cgra44):
+        a = ModuloResourcePool(cgra44, ii=4)
+        b = ModuloResourcePool(cgra44, ii=4)
+        claims = [(link_key(0, 1), 0, 2), (reg_key(5), 1, 3),
+                  (xbar_key(2), 2, 2)]
+        for key, start, length in claims:
+            a.claim(key, start, length)
+        for key, start, length in reversed(claims):
+            b.claim(key, start, length)
+        assert a.epoch == b.epoch
+
+    def test_is_free_query_leaves_epoch_unchanged(self, pool, cgra44):
+        mrrg = MRRG(cgra44, 4)
+        before = mrrg.pool.epoch
+        # is_free runs a scratch transaction; it must not leak epoch.
+        assert mrrg.is_free([(reg_key(0), 0, 6), (link_key(0, 1), 0, 1)])
+        assert mrrg.pool.epoch == before

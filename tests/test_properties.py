@@ -48,7 +48,8 @@ class TestPoolProperties:
                 committed.append((key, start, length))
             except MappingError:
                 pass
-        snapshot = dict(pool._usage)
+        snapshot = pool.usage_snapshot()
+        epoch = pool.epoch
         token = pool.checkpoint()
         for key, start, length in claims[len(claims) // 2:]:
             try:
@@ -56,7 +57,8 @@ class TestPoolProperties:
             except MappingError:
                 pass
         pool.rollback(token)
-        assert pool._usage == snapshot
+        assert pool.usage_snapshot() == snapshot
+        assert pool.epoch == epoch
 
     @given(claims=claims, ii=st.integers(min_value=1, max_value=8))
     @settings(max_examples=60, deadline=None)
@@ -80,7 +82,7 @@ class TestPoolProperties:
                 pool.claim(key, start, length)
             except MappingError:
                 pass
-        for (key, _slot), used in pool._usage.items():
+        for (key, _slot), used in pool.usage_snapshot().items():
             assert used <= pool.capacity(key)
 
 

@@ -112,3 +112,30 @@ class TestRouteClaims:
     def test_arrival_with_slowdowns(self):
         slow = {1: 2, 2: 4}.get
         assert route_arrival((0, 1, 2), 0, lambda t: slow(t, 1)) == 6
+
+
+class TestSameTileProbe:
+    """The self-route probe feeds the engine's issue-time jump: it must
+    report the feasibility frontier, not just ``ready``."""
+
+    def test_read_before_ready_reports_ready(self, mrrg):
+        # deadline < ready: infeasible, but the probe says when the
+        # wait would become trivially feasible.
+        result, probe = find_route(mrrg, normal, 5, 6, 5, 3)
+        assert result is None
+        assert probe == 6
+
+    def test_blocked_wait_reports_latest_feasible_deadline(self, mrrg,
+                                                           cgra44):
+        # Saturate tile 5's registers from cycle 2 on (mod 4): a wait
+        # starting at 0 stays feasible only through deadline 2.
+        cap = cgra44.tile(5).num_registers
+        for _ in range(cap):
+            mrrg.pool.claim(reg_key(5), 2, 1)
+        result, probe = find_route(mrrg, normal, 5, 0, 5, 8)
+        assert result is None
+        assert probe == 2
+        # And the probe is exact: deadline 2 still routes.
+        result, probe = find_route(mrrg, normal, 5, 0, 5, 2)
+        assert result is not None
+        assert probe == 0  # successful same-tile routes arrive at ready

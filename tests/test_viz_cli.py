@@ -111,3 +111,30 @@ class TestSaveOption:
         import json
         payload = json.loads((tmp_path / "fig8.json").read_text())
         assert payload["id"] == "fig8"
+
+
+class TestProfileCommand:
+    def test_profile_prints_hot_functions(self, capsys):
+        assert main(["profile", "relu", "--strategy", "baseline",
+                     "--cgra", "4x4", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "relu (baseline)" in out
+        assert "cumulative" in out
+        assert "map_dfg" in out or "engine.py" in out
+
+
+class TestCacheEffortCommand:
+    def test_cache_stats_reports_engine_effort(self, tmp_path, capsys):
+        from repro.compile import DiskCache, compile_kernel
+        from repro.arch import CGRA
+
+        cache = DiskCache(tmp_path)
+        compile_kernel("relu", CGRA.build(4, 4), strategy="iced",
+                       cache=cache)
+        effort = cache.engine_effort()
+        assert effort["artifacts_with_stats"] == 1
+        assert effort["routes_searched"] > 0
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "engine effort across cached artifacts" in out
+        assert "route_memo_hits" in out
