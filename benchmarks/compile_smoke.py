@@ -157,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.25,
                         help="maximum tolerated cold-sweep slowdown vs. "
                              "the baseline (fraction, default 0.25)")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace of the cold parallel "
+                             "sweep (worker spans adopted into one "
+                             "timeline)")
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     jobs = max(2, jobs)  # the parallel phase must actually fan out
@@ -172,8 +176,26 @@ def main(argv: list[str] | None = None) -> int:
         cold = run_sweep(1, serial_dir, instrument,
                          STANDALONE_KERNELS, cgra)
         cold_counters = _engine_counters(instrument.events)
-        parallel = run_sweep(jobs, parallel_dir, instrument,
-                             STANDALONE_KERNELS, cgra)
+        if args.trace:
+            # Trace the parallel sweep (the interesting one: worker
+            # span streams adopted into one timeline). The cold serial
+            # sweep above stays untraced so the baseline perf gate
+            # times exactly what it always timed.
+            from repro import obs
+
+            tracer = obs.install_tracer()
+            saved_registry = obs.set_metrics(obs.MetricsRegistry())
+            try:
+                parallel = run_sweep(jobs, parallel_dir, instrument,
+                                     STANDALONE_KERNELS, cgra)
+            finally:
+                trace_registry = obs.set_metrics(saved_registry)
+                obs.uninstall_tracer()
+            events = obs.write_trace(args.trace, tracer, trace_registry)
+            print(f"trace: {events} events -> {args.trace}")
+        else:
+            parallel = run_sweep(jobs, parallel_dir, instrument,
+                                 STANDALONE_KERNELS, cgra)
         # Fresh executor + memory cache over the parallel run's disk
         # tree: exactly what a fresh process sees on a warm cache.
         warm = run_sweep(1, parallel_dir, instrument,

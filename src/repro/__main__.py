@@ -6,6 +6,7 @@ Usage::
     python -m repro fabric --cgra 8x8 --island 2x2
     python -m repro map fir --strategy iced --show schedule,levels
     python -m repro stream gcn --inputs 80 --jobs 4
+    python -m repro trace fir -o trace.json       # Chrome/Perfetto trace
     python -m repro experiments fig9 --jobs 4     # same as -m repro.experiments
     python -m repro profile fir --strategy iced   # cProfile one cold compile
     python -m repro cache stats                   # on-disk mapping cache
@@ -15,7 +16,9 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
+from repro import obs
 from repro.arch.cgra import CGRA
 from repro.compile import (
     Instrumentation,
@@ -41,6 +44,29 @@ def _build_fabric(args) -> CGRA:
     return CGRA.build(rows, cols, island_shape=island)
 
 
+@contextmanager
+def _tracing(out: str | None):
+    """Install a tracer + fresh registry; write ``out`` on the way out.
+
+    With ``out`` falsy this is a no-op, so command handlers can wrap
+    their whole body unconditionally.
+    """
+    if not out:
+        yield None
+        return
+    tracer = obs.install_tracer()
+    previous = obs.set_metrics(obs.MetricsRegistry())
+    try:
+        yield tracer
+    finally:
+        registry = obs.set_metrics(previous)
+        obs.uninstall_tracer()
+        events = obs.write_trace(out, tracer, registry)
+        kinds = ", ".join(sorted(c for c in tracer.categories() if c))
+        print(f"trace: {events} events ({len(tracer)} spans; {kinds}) "
+              f"-> {out}")
+
+
 def cmd_kernels(_args) -> int:
     print(f"{'kernel':<12}{'domain':<10}{'u1 (n/e/RecMII)':<18}"
           f"{'u2 (n/e/RecMII)':<18}")
@@ -61,11 +87,12 @@ def cmd_map(args) -> int:
     cgra = _build_fabric(args)
     shows = set(args.show.split(",")) if args.show else set()
     instrument = Instrumentation()
-    result = compile_kernel(
-        args.kernel, cgra, args.strategy, unroll=args.unroll,
-        use_cache=not args.no_cache, instrument=instrument,
-        want_bitstream="bitstream" in shows,
-    )
+    with _tracing(args.trace):
+        result = compile_kernel(
+            args.kernel, cgra, args.strategy, unroll=args.unroll,
+            use_cache=not args.no_cache, instrument=instrument,
+            want_bitstream="bitstream" in shows,
+        )
     mapping, report = result.mapping, result.report
     print(mapping.summary())
 
@@ -119,14 +146,15 @@ def cmd_stream(args) -> int:
     profile = inputs[: max(5, args.inputs // 3)]
     run = inputs[len(profile):]
     instrument = Instrumentation()
-    partition = partition_app(app, fabric, profile,
-                              use_cache=not args.no_cache,
-                              instrument=instrument,
-                              jobs=args.jobs,
-                              cache_dir=args.cache_dir)
-    print(partition.summary())
-    iced = simulate_stream(partition, run, window=args.window)
-    drips = simulate_drips(partition, run, window=args.window)
+    with _tracing(args.trace):
+        partition = partition_app(app, fabric, profile,
+                                  use_cache=not args.no_cache,
+                                  instrument=instrument,
+                                  jobs=args.jobs,
+                                  cache_dir=args.cache_dir)
+        print(partition.summary())
+        iced = simulate_stream(partition, run, window=args.window)
+        drips = simulate_drips(partition, run, window=args.window)
     print(f"iced : {iced.makespan_cycles:.0f} cycles, "
           f"{iced.average_power_mw:.1f} mW")
     print(f"drips: {drips.makespan_cycles:.0f} cycles, "
@@ -136,6 +164,48 @@ def cmd_stream(args) -> int:
     if args.stats:
         print()
         print(render_report(instrument.events, get_cache().stats_dict()))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """One end-to-end traced run: compile, simulate, stream.
+
+    Compiles the kernel cold (so mapper attempts actually happen),
+    simulates it, then streams it as a one-kernel pipeline so the DVFS
+    controller makes window decisions — the written trace carries all
+    four span categories (pipeline, mapper, sim, streaming).
+    """
+    from repro.kernels.suite import load_kernel
+    from repro.sim.simulator import simulate_execution
+    from repro.streaming.app import StreamingApp
+    from repro.streaming.engine import simulate_stream
+    from repro.streaming.partitioner import partition_app, streaming_cgra
+    from repro.streaming.stage import KernelStage, StreamInput
+
+    with _tracing(args.out):
+        cgra = _build_fabric(args)
+        result = compile_kernel(args.kernel, cgra, args.strategy,
+                                unroll=args.unroll, use_cache=False)
+        simulate_execution(result.mapping, args.iterations, result.report)
+
+        # Stream the same kernel as a one-stage pipeline: the DVFS
+        # controller still watches windows, so streaming spans appear.
+        dfg = load_kernel(args.kernel, args.unroll)
+        stage = KernelStage(
+            name=dfg.name, dfg=dfg,
+            iteration_model=lambda item: int(item.get("work")),
+        )
+        app = StreamingApp(name=f"{args.kernel}-stream", stages=[[stage]])
+        inputs = [
+            StreamInput(index=i, features={"work": 6.0 + 3.0 * (i % 5)})
+            for i in range(args.inputs)
+        ]
+        partition = partition_app(app, streaming_cgra(), inputs[:4],
+                                  max_islands_per_kernel=2,
+                                  use_cache=False)
+        stream = simulate_stream(partition, inputs, window=args.window)
+        print(f"{args.kernel}: II={result.mapping.ii}, "
+              f"{len(stream.windows)} stream windows")
     return 0
 
 
@@ -151,9 +221,15 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_cache(args) -> int:
+    import os
+
     from repro.compile import DiskCache, default_cache_root
 
     root = args.dir or default_cache_root()
+    if not os.path.isdir(root):
+        print(f"{root}: no cache here yet — compile something with "
+              f"--cache-dir (or $REPRO_CACHE_DIR) to create one")
+        return 0
     cache = DiskCache(root)
     if args.action == "clear":
         removed = cache.clear()
@@ -227,6 +303,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="print per-pass compile timings")
     map_cmd.add_argument("--no-cache", action="store_true",
                          help="bypass the mapping cache")
+    map_cmd.add_argument("--trace", default=None, metavar="FILE",
+                         help="write a Chrome trace (.jsonl for JSONL) "
+                              "of the compile")
 
     stream = sub.add_parser("stream", help="run a streaming application")
     stream.add_argument("app", choices=("gcn", "lu"))
@@ -240,6 +319,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="processes for the II-table probes")
     stream.add_argument("--cache-dir", default=None,
                         help="persistent on-disk mapping cache directory")
+    stream.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace (.jsonl for JSONL) of "
+                             "the partition + streaming run")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="trace one kernel end to end (compile, simulate, "
+                      "stream) into a Chrome/Perfetto JSON file"
+    )
+    trace_cmd.add_argument("kernel", choices=kernel_names())
+    trace_cmd.add_argument("-o", "--out", default="trace.json",
+                           help="output path (.jsonl for JSONL)")
+    trace_cmd.add_argument("--strategy", default="iced",
+                           choices=("baseline", "per_tile", "iced"))
+    trace_cmd.add_argument("--unroll", type=int, default=1)
+    trace_cmd.add_argument("--cgra", default="6x6")
+    trace_cmd.add_argument("--island", default="2x2")
+    trace_cmd.add_argument("--iterations", type=int, default=20,
+                           help="simulator iterations")
+    trace_cmd.add_argument("--inputs", type=int, default=30,
+                           help="stream inputs for the DVFS windows")
+    trace_cmd.add_argument("--window", type=int, default=5,
+                           help="DVFS observation window (inputs)")
 
     experiments = sub.add_parser(
         "experiments", help="regenerate a table/figure"
@@ -284,6 +385,7 @@ def main(argv: list[str] | None = None) -> int:
         "fabric": cmd_fabric,
         "map": cmd_map,
         "stream": cmd_stream,
+        "trace": cmd_trace,
         "experiments": cmd_experiments,
         "profile": cmd_profile,
         "cache": cmd_cache,

@@ -10,7 +10,7 @@ operation's base-clock duration is then ``latency * slowdown``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dfg.ops import Opcode, COMPUTE_OPS, MEMORY_OPS
 from repro.errors import ArchitectureError

@@ -5,6 +5,14 @@ dict of counters (engine search effort, cache hit/miss, graph sizes).
 Events are plain structured data: the experiment harnesses can persist
 them as JSON artifacts, and :func:`render_report` turns an event stream
 into the per-pass timing table ``python -m repro map --stats`` prints.
+
+Since the :mod:`repro.obs` layer landed, every measured pass is also a
+span view: when a tracer is installed, :meth:`Instrumentation.measure`
+opens a span (category ``pipeline`` by default) whose attributes are
+the pass's final counters, and the pass's call count and wall time are
+absorbed into the process metrics registry. ``PassEvent`` and its
+consumers (``--stats``, cache envelopes, the experiment harnesses) are
+unchanged — the span is a *view*, not a replacement.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.utils.tables import TextTable
 
 
@@ -41,17 +50,33 @@ class Instrumentation:
         self.events: list[PassEvent] = []
 
     @contextmanager
-    def measure(self, pass_name: str, kernel: str = ""):
-        """Time one pass; yields the event's mutable counter dict."""
+    def measure(self, pass_name: str, kernel: str = "",
+                category: str = "pipeline"):
+        """Time one pass; yields the event's mutable counter dict.
+
+        When a tracer is installed the pass is also recorded as a span
+        under ``category``, carrying the final counters as attributes;
+        either way its call count and wall time feed the metrics
+        registry.
+        """
         counters: dict[str, float] = {}
+        span_cm = obs.span(pass_name, category=category, kernel=kernel)
         start = time.perf_counter()
-        try:
-            yield counters
-        finally:
-            elapsed_ms = (time.perf_counter() - start) * 1000.0
-            self.events.append(
-                PassEvent(pass_name, elapsed_ms, counters, kernel)
-            )
+        with span_cm as span:
+            try:
+                yield counters
+            finally:
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                self.events.append(
+                    PassEvent(pass_name, elapsed_ms, counters, kernel)
+                )
+                span.set(**counters)
+                registry = obs.metrics()
+                registry.counter(f"{category}.{pass_name}.calls").inc()
+                registry.histogram(f"{category}.pass_wall_ms").observe(
+                    elapsed_ms
+                )
+                registry.absorb(f"{category}.{pass_name}", counters)
 
     def extend(self, events: list[PassEvent]) -> None:
         self.events.extend(events)

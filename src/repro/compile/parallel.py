@@ -15,6 +15,12 @@ list out across a ``ProcessPoolExecutor`` and merges the results back
   into the parent's :class:`Instrumentation` in item order, so the
   ``--stats`` table of a parallel sweep aggregates exactly the passes
   that ran, wherever they ran;
+* when tracing is on (:func:`repro.obs.current_tracer` returns a
+  tracer in the parent), each worker records its item under a fresh
+  tracer and metrics registry; the parent *adopts* the span stream
+  (ids remapped into its own space) and merges the metric snapshot, in
+  item order — so a ``--jobs N`` trace carries exactly the span
+  content of a serial one;
 * workers share one :class:`~repro.compile.diskcache.DiskCache`
   directory (when configured), so a warm sweep — even from a fresh
   process — rehydrates artifacts instead of recompiling, and the
@@ -39,6 +45,7 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.arch.cgra import CGRA
 from repro.compile.cache import MappingCache
 from repro.compile.diskcache import DiskCache, TieredCache
@@ -136,32 +143,51 @@ def _worker_init(cache_dir: str | None) -> None:
 
 
 def _compile_item(payload: tuple) -> tuple:
-    """Compile one item; returns only picklable, order-independent data."""
-    index, item, cgra = payload
+    """Compile one item; returns only picklable, order-independent data.
+
+    The compile runs under a per-item metrics registry (and, when the
+    parent traces, a per-item tracer): the snapshots travel home in
+    the result tuple and the parent merges them in item order, so the
+    observability stream of a pool sweep is independent of how items
+    landed on workers.
+    """
+    index, item, cgra, trace_on = payload
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else MappingCache()
     instrument = Instrumentation()
+    tracer = obs.install_tracer() if trace_on else None
+    saved_registry = obs.set_metrics(obs.MetricsRegistry())
     try:
-        if item.dfg is not None:
-            result = compile_dfg(
-                item.dfg, cgra, item.strategy, item.config,
-                refine=item.refine, anneal_moves=item.anneal_moves,
-                seed=item.seed or 0, cache=cache, instrument=instrument,
-            )
-        else:
-            result = compile_kernel(
-                item.kernel, cgra, item.strategy, item.config,
-                unroll=item.unroll, refine=item.refine,
-                anneal_moves=item.anneal_moves, seed=item.seed or 0,
-                cache=cache, instrument=instrument,
-            )
-    except MappingError as exc:
-        return (index, None, None, "", False, instrument.to_dicts(),
-                (str(exc), exc.last_ii), os.getpid())
-    blob = json.dumps(result.mapping.to_dict(), sort_keys=True,
-                      separators=(",", ":"))
-    engine_blob = cache.serialized(result.cache_key)
-    return (index, blob, engine_blob, result.cache_key, result.cache_hit,
-            instrument.to_dicts(), None, os.getpid())
+        try:
+            if item.dfg is not None:
+                result = compile_dfg(
+                    item.dfg, cgra, item.strategy, item.config,
+                    refine=item.refine, anneal_moves=item.anneal_moves,
+                    seed=item.seed or 0, cache=cache,
+                    instrument=instrument,
+                )
+            else:
+                result = compile_kernel(
+                    item.kernel, cgra, item.strategy, item.config,
+                    unroll=item.unroll, refine=item.refine,
+                    anneal_moves=item.anneal_moves, seed=item.seed or 0,
+                    cache=cache, instrument=instrument,
+                )
+        except MappingError as exc:
+            return (index, None, None, "", False, instrument.to_dicts(),
+                    (str(exc), exc.last_ii), os.getpid(),
+                    tracer.to_dicts() if tracer else [],
+                    obs.metrics().snapshot())
+        blob = json.dumps(result.mapping.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        engine_blob = cache.serialized(result.cache_key)
+        return (index, blob, engine_blob, result.cache_key,
+                result.cache_hit, instrument.to_dicts(), None, os.getpid(),
+                tracer.to_dicts() if tracer else [],
+                obs.metrics().snapshot())
+    finally:
+        if tracer is not None:
+            obs.uninstall_tracer()
+        obs.set_metrics(saved_registry)
 
 
 # -- parent side -------------------------------------------------------------
@@ -249,6 +275,7 @@ class SweepExecutor:
     def _run_pool(self, items: list[SweepItem],
                   cgra: CGRA) -> list[SweepOutcome]:
         raw: list[tuple | None] = [None] * len(items)
+        trace_on = obs.current_tracer() is not None
         with ProcessPoolExecutor(
             max_workers=min(self.jobs, len(items)),
             mp_context=self._pool_context(),
@@ -256,7 +283,7 @@ class SweepExecutor:
             initargs=(self.cache_dir,),
         ) as pool:
             futures = [
-                pool.submit(_compile_item, (i, item, cgra))
+                pool.submit(_compile_item, (i, item, cgra, trace_on))
                 for i, item in enumerate(items)
             ]
             for future in futures:
@@ -270,13 +297,18 @@ class SweepExecutor:
                cgra: CGRA) -> SweepOutcome:
         """Rehydrate, re-validate and account one worker result."""
         (index, blob, engine_blob, cache_key, cache_hit, event_dicts,
-         error, pid) = tup
+         error, pid, span_dicts, metric_snapshot) = tup
         events = [
             PassEvent(d["pass"], d["wall_ms"], dict(d["counters"]),
                       d["kernel"])
             for d in event_dicts
         ]
         self.instrument.extend(events)
+        tracer = obs.current_tracer()
+        if tracer is not None and span_dicts:
+            tracer.adopt(span_dicts)
+        if metric_snapshot:
+            obs.metrics().merge(metric_snapshot)
         if error is not None:
             message, last_ii = error
             return SweepOutcome(index, item,
@@ -289,7 +321,8 @@ class SweepExecutor:
 
             dfg = load_kernel(item.kernel, item.unroll)
         mapping = Mapping.from_dict(json.loads(blob), dfg, cgra)
-        with self.instrument.measure("revalidate", dfg.name) as counters:
+        with self.instrument.measure("revalidate", dfg.name,
+                                     category="executor") as counters:
             report = validate_mapping(mapping)
             counters["ii"] = report.ii
         # Promote the worker's engine artifact so later serial compiles

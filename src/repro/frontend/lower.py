@@ -18,7 +18,7 @@ predicate operand.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.dfg.graph import DFG
 from repro.dfg.ops import Opcode

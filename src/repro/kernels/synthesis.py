@@ -173,10 +173,8 @@ class _Wiring:
     # -- construction --------------------------------------------------------
 
     def build(self, plan: _Plan, domain: str) -> None:
-        loads = [
+        for i in range(plan.loads):
             self._new("load", Opcode.LOAD, f"ld{i}")
-            for i in range(plan.loads)
-        ]
         front = plan.computes // 2
         computes_a = [
             self._new("compute", Opcode.ADD, f"c{i}") for i in range(front)

@@ -18,7 +18,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-from repro.dfg.ops import Opcode
 from repro.errors import MappingError, ValidationError
 from repro.mapper.mapping import Mapping, Placement, Route
 from repro.mapper.routing import find_route, route_claims

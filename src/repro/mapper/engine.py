@@ -19,8 +19,9 @@ full placement + routing succeeds, exactly as Alg. 2's outer loop does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro import obs
 from repro.arch.cgra import CGRA
 from repro.arch.dvfs import DVFSLevel
 from repro.dfg.analysis import DFGAnalysis, analyze_dfg
@@ -190,33 +191,71 @@ def _deepen(dfg: DFG, cgra: CGRA, config: EngineConfig,
     last_error = ""
     for ii in range(start_ii, config.max_ii + 1):
         stats.iis_tried += 1
-        for soften in range(softening_steps):
-            # Performance first (the paper's Alg. 1 falls back to normal
-            # labels rather than risk the II): before conceding a longer
-            # II, retry with every label promoted ``soften`` steps
-            # toward normal.
-            if config.dvfs_aware:
-                labels = label_dvfs_levels(dfg, cgra, ii)
-                labels = _soften_labels(labels, cgra, soften)
-                labels = _clamp_labels(labels, cgra, config)
-            else:
-                labels = {n: cgra.dvfs.normal for n in dfg.node_ids()}
-            floors: dict[int, int] = {}
-            for retry in range(config.max_reschedules + 1):
-                stats.attempts += 1
-                if retry:
-                    stats.reschedules += 1
-                attempt = _Attempt(dfg, cgra, config, ii, labels, tiles,
-                                   floors, order=order, stats=stats,
-                                   memo=memo)
-                try:
-                    return attempt.run()
-                except _AttemptFailed as exc:
-                    last_error = str(exc)
-                    if not exc.suggestion:
+        with obs.span(f"ii={ii}", category="mapper", kernel=dfg.name,
+                      ii=ii):
+            for soften in range(softening_steps):
+                # Performance first (the paper's Alg. 1 falls back to
+                # normal labels rather than risk the II): before
+                # conceding a longer II, retry with every label promoted
+                # ``soften`` steps toward normal.
+                if config.dvfs_aware:
+                    labels = label_dvfs_levels(dfg, cgra, ii)
+                    labels = _soften_labels(labels, cgra, soften)
+                    labels = _clamp_labels(labels, cgra, config)
+                else:
+                    labels = {n: cgra.dvfs.normal for n in dfg.node_ids()}
+                floors: dict[int, int] = {}
+                for retry in range(config.max_reschedules + 1):
+                    stats.attempts += 1
+                    if retry:
+                        stats.reschedules += 1
+                    attempt = _Attempt(dfg, cgra, config, ii, labels,
+                                       tiles, floors, order=order,
+                                       stats=stats, memo=memo)
+                    with obs.span("attempt", category="mapper",
+                                  kernel=dfg.name, ii=ii, soften=soften,
+                                  retry=retry) as span:
+                        before = (
+                            (stats.routes_searched,
+                             stats.candidates_pruned, memo.hits)
+                            if span else None
+                        )
+                        try:
+                            mapping = attempt.run()
+                        except _AttemptFailed as exc:
+                            last_error = str(exc)
+                            if span:
+                                span.set(
+                                    outcome="failed",
+                                    placed=len(attempt.placements),
+                                    routes_searched=(
+                                        stats.routes_searched - before[0]
+                                    ),
+                                    candidates_pruned=(
+                                        stats.candidates_pruned - before[1]
+                                    ),
+                                    route_memo_hits=memo.hits - before[2],
+                                    error=last_error,
+                                )
+                            failed = exc
+                        else:
+                            if span:
+                                span.set(
+                                    outcome="mapped",
+                                    placed=len(attempt.placements),
+                                    routes_searched=(
+                                        stats.routes_searched - before[0]
+                                    ),
+                                    candidates_pruned=(
+                                        stats.candidates_pruned - before[1]
+                                    ),
+                                    route_memo_hits=memo.hits - before[2],
+                                )
+                            return mapping
+                    if not failed.suggestion:
                         break
                     progressed = False
-                    for node, time in exc.suggestion.items():
+                    for node, time in failed.suggestion.items():
                         if time > floors.get(node, 0):
                             floors[node] = time
                             progressed = True

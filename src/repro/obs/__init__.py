@@ -1,0 +1,69 @@
+"""`repro.obs` — the unified observability layer.
+
+Zero-dependency tracing (nested spans, two timebases) and metrics
+(counters, gauges, histograms) used by every subsystem: compile
+pipeline passes, mapper per-II attempts, the cycle simulator and the
+streaming runtime's DVFS windows all report here, and the sinks render
+one run as one timeline (Chrome ``trace_event`` JSON for Perfetto, or
+newline-JSONL). See ``docs/observability.md``.
+
+Tracing is **off by default**: instrumented code calls
+:func:`span`, which is a shared no-op until :func:`install_tracer`
+turns recording on (the ``repro trace`` subcommand and the ``--trace``
+flags do). The metrics registry is always on — recording a counter is
+a dict lookup and an add.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    set_metrics,
+)
+from repro.obs.sinks import (
+    CORE_CATEGORIES,
+    chrome_trace_events,
+    normalize_spans,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    SIM_TRACK,
+    WALL_TRACK,
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "CORE_CATEGORIES",
+    "DEFAULT_BUCKETS",
+    "NULL_SPAN",
+    "SIM_TRACK",
+    "WALL_TRACK",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "current_tracer",
+    "install_tracer",
+    "metrics",
+    "normalize_spans",
+    "set_metrics",
+    "span",
+    "uninstall_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_trace",
+]

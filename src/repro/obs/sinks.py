@@ -1,0 +1,153 @@
+"""Trace and metric exporters: newline-JSONL and Chrome ``trace_event``.
+
+The Chrome format is the ``chrome://tracing`` / Perfetto JSON object
+form (``{"traceEvents": [...]}``) using complete ("X") events. Two
+process rows separate the timebases: wall-clock spans land on the
+"wall clock" row (perf_counter nanoseconds, rebased so the earliest
+span starts at t=0), logical spans (streaming windows, simulator
+replay batches) land on the "simulated cycles" row where one trace
+microsecond equals one base cycle. Metric counters append as Chrome
+counter ("C") events so Perfetto plots them as tracks.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SIM_TRACK, Span, Tracer
+
+#: Chrome pids for the two timebase rows.
+WALL_PID = 1
+SIM_PID = 2
+
+#: The four span categories a full ICED run produces.
+CORE_CATEGORIES = ("pipeline", "mapper", "sim", "streaming")
+
+
+def _spans_of(source) -> list[Span]:
+    if isinstance(source, Tracer):
+        with source._lock:
+            return list(source.spans)
+    return [s if isinstance(s, Span) else Span.from_dict(s) for s in source]
+
+
+def normalize_spans(source, categories: tuple[str, ...] | None = None,
+                    ) -> list[dict]:
+    """Span *content* with ids, times and process/thread stamps erased.
+
+    Returns one dict per span — (name, category, attrs, depth) in
+    recording order — the representation under which a ``--jobs N``
+    sweep's trace must equal a serial one's. ``depth`` is the distance
+    to the span's root, which pins the tree shape without exposing the
+    (run-specific) id numbering. ``categories`` optionally restricts
+    the view (e.g. to :data:`CORE_CATEGORIES`, excluding
+    executor-internal bookkeeping spans).
+    """
+    spans = _spans_of(source)
+    by_id = {s.span_id: s for s in spans}
+    out = []
+    for s in spans:
+        if categories is not None and s.category not in categories:
+            continue
+        depth = 0
+        parent = s.parent_id
+        seen = set()
+        while parent is not None and parent in by_id and parent not in seen:
+            seen.add(parent)
+            depth += 1
+            parent = by_id[parent].parent_id
+        out.append({
+            "name": s.name,
+            "category": s.category,
+            "attrs": dict(s.attrs),
+            "depth": depth,
+            "track": s.track,
+        })
+    return out
+
+
+def write_jsonl(path: str, tracer: Tracer,
+                registry: MetricsRegistry | None = None) -> int:
+    """One JSON object per line: spans first, then metric snapshots.
+
+    Returns the number of lines written.
+    """
+    lines = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in _spans_of(tracer):
+            record = {"type": "span"} | span.to_dict()
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            lines += 1
+        if registry is not None:
+            for record in registry.snapshot().values():
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                lines += 1
+    return lines
+
+
+def chrome_trace_events(tracer: Tracer,
+                        registry: MetricsRegistry | None = None) -> list[dict]:
+    """The ``traceEvents`` list for one trace (see module docstring)."""
+    spans = _spans_of(tracer)
+    wall_starts = [s.start_ns for s in spans if s.track != SIM_TRACK]
+    epoch_ns = min(wall_starts) if wall_starts else 0
+
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": WALL_PID, "tid": 0,
+         "args": {"name": "wall clock"}},
+        {"ph": "M", "name": "process_name", "pid": SIM_PID, "tid": 0,
+         "args": {"name": "simulated cycles"}},
+    ]
+    last_wall_us = 0.0
+    for span in spans:
+        if span.track == SIM_TRACK:
+            pid, ts_ns = SIM_PID, span.start_ns
+        else:
+            pid, ts_ns = WALL_PID, span.start_ns - epoch_ns
+        ts_us = ts_ns / 1000.0
+        dur_us = span.dur_ns / 1000.0
+        if pid == WALL_PID:
+            last_wall_us = max(last_wall_us, ts_us + dur_us)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.category or "uncategorized",
+            "ts": round(ts_us, 3),
+            "dur": round(dur_us, 3),
+            "pid": pid,
+            "tid": 1,
+            "args": dict(span.attrs) | {"span_id": span.span_id},
+        })
+    if registry is not None:
+        for name, record in sorted(registry.snapshot().items()):
+            if record["type"] not in ("counter", "gauge"):
+                continue
+            events.append({
+                "ph": "C",
+                "name": name,
+                "cat": "metrics",
+                "ts": round(last_wall_us, 3),
+                "pid": WALL_PID,
+                "tid": 1,
+                "args": {"value": record["value"]},
+            })
+    return events
+
+
+def write_chrome_trace(path: str, tracer: Tracer,
+                       registry: MetricsRegistry | None = None) -> int:
+    """Write a Chrome/Perfetto-loadable trace; returns the event count."""
+    events = chrome_trace_events(tracer, registry)
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+    return len(events)
+
+
+def write_trace(path: str, tracer: Tracer,
+                registry: MetricsRegistry | None = None) -> int:
+    """Format by extension: ``.jsonl`` -> JSONL, else Chrome JSON."""
+    if path.endswith(".jsonl"):
+        return write_jsonl(path, tracer, registry)
+    return write_chrome_trace(path, tracer, registry)

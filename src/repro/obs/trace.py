@@ -1,0 +1,292 @@
+"""Nested-span tracing with process/thread-safe ids.
+
+The tracer is the substrate every subsystem reports into: compile
+pipeline passes, mapper per-II attempts, cycle-simulator replay
+batches and streaming DVFS windows all become :class:`Span` records in
+one stream, renderable as a single timeline (see
+:mod:`repro.obs.sinks` for the Chrome ``trace_event`` exporter).
+
+Design rules:
+
+* **disabled is free** — no tracer installed means
+  :func:`span` returns one shared no-op context manager; instrumented
+  hot paths pay a global read and a call, nothing else;
+* **ids merge cleanly** — span ids are allocated under a lock and
+  remapped on :meth:`Tracer.adopt`, so a ``SweepExecutor`` worker's
+  span stream folds into the parent trace deterministically (worker
+  streams are adopted in work-list order, and content never depends on
+  which process recorded it);
+* **two timebases** — spans default to wall-clock nanoseconds, but a
+  producer may record *logical* spans on the ``sim`` track (cycle
+  time), which the Chrome sink renders as a separate process row.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Track names: wall-clock spans vs. simulated-cycle spans.
+WALL_TRACK = "wall"
+SIM_TRACK = "sim"
+
+
+@dataclass
+class Span:
+    """One completed (or logical) span in a trace."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start_ns: int
+    dur_ns: int
+    attrs: dict = field(default_factory=dict)
+    pid: int = 0
+    tid: int = 0
+    track: str = WALL_TRACK
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start_ns": self.start_ns,
+            "dur_ns": self.dur_ns,
+            "attrs": dict(self.attrs),
+            "pid": self.pid,
+            "tid": self.tid,
+            "track": self.track,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            span_id=d["span_id"],
+            parent_id=d.get("parent_id"),
+            name=d["name"],
+            category=d.get("category", ""),
+            start_ns=d.get("start_ns", 0),
+            dur_ns=d.get("dur_ns", 0),
+            attrs=dict(d.get("attrs", {})),
+            pid=d.get("pid", 0),
+            tid=d.get("tid", 0),
+            track=d.get("track", WALL_TRACK),
+        )
+
+    def set(self, **attrs) -> None:
+        """Attach attributes (typically at exit, once counters exist)."""
+        self.attrs.update(attrs)
+
+    def __bool__(self) -> bool:
+        return True
+
+
+class _NullSpan:
+    """The no-op span: accepts attributes, records nothing."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class _NullSpanContext:
+    """Shared, stateless no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager for one live span on one tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects spans from any thread of one process.
+
+    Nesting is tracked per thread (a thread-local stack); ids are
+    allocated under a lock so concurrent threads never collide. Spans
+    are appended to :attr:`spans` when they *finish*, so children
+    precede their parents in the list — consumers that want tree order
+    sort by ``start_ns`` or follow ``parent_id``.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+
+    # -- id allocation ------------------------------------------------------
+
+    def _alloc_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> int | None:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, category: str = "", **attrs) -> _SpanContext:
+        """A context manager timing one wall-clock span."""
+        span = Span(
+            span_id=self._alloc_id(),
+            parent_id=self.current_span_id(),
+            name=name,
+            category=category,
+            start_ns=0,
+            dur_ns=0,
+            attrs=dict(attrs),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+        )
+        return _SpanContext(self, span)
+
+    def _push(self, span: Span) -> None:
+        span.start_ns = time.perf_counter_ns()
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.dur_ns = time.perf_counter_ns() - span.start_ns
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self.spans.append(span)
+
+    def add_span(self, name: str, category: str = "", *,
+                 start_ns: int = 0, dur_ns: int = 0,
+                 track: str = WALL_TRACK, **attrs) -> Span:
+        """Record a completed span directly (used for logical-time
+        spans, e.g. streaming windows measured in simulated cycles)."""
+        span = Span(
+            span_id=self._alloc_id(),
+            parent_id=self.current_span_id(),
+            name=name,
+            category=category,
+            start_ns=start_ns,
+            dur_ns=dur_ns,
+            attrs=dict(attrs),
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            track=track,
+        )
+        with self._lock:
+            self.spans.append(span)
+        return span
+
+    # -- merging ------------------------------------------------------------
+
+    def adopt(self, span_dicts: list[dict],
+              parent_id: int | None = None) -> list[Span]:
+        """Fold a serialized span stream (e.g. a pool worker's) into
+        this trace.
+
+        Every adopted span gets a fresh id from this tracer's space;
+        parent references *within* the stream are remapped, and spans
+        whose parent is not in the stream are attached to ``parent_id``
+        (defaulting to the caller's current span). Adoption order is
+        the caller's responsibility — adopting worker streams in
+        work-list order keeps a parallel trace deterministic.
+        """
+        if parent_id is None:
+            parent_id = self.current_span_id()
+        remap: dict[int, int] = {}
+        adopted: list[Span] = []
+        for d in span_dicts:
+            span = Span.from_dict(d)
+            remap[span.span_id] = span.span_id = self._alloc_id()
+            adopted.append(span)
+        for span in adopted:
+            if span.parent_id in remap:
+                span.parent_id = remap[span.parent_id]
+            else:
+                span.parent_id = parent_id
+        with self._lock:
+            self.spans.extend(adopted)
+        return adopted
+
+    # -- inspection ---------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        with self._lock:
+            return [s.to_dict() for s in self.spans]
+
+    def categories(self) -> set[str]:
+        with self._lock:
+            return {s.category for s in self.spans}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.spans)
+
+
+#: The process-wide tracer; ``None`` means tracing is disabled.
+_ACTIVE: Tracer | None = None
+
+
+def install_tracer(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the process-wide tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def uninstall_tracer() -> Tracer | None:
+    """Disable tracing; returns the tracer that was active (if any)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def current_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def span(name: str, category: str = "", **attrs):
+    """Open a span on the installed tracer; free no-op when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_CONTEXT
+    return tracer.span(name, category, **attrs)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.dfg.ops import Opcode
 from repro.errors import SimulationError
 from repro.frontend.interp import Memory, _check_arrays, _eval_node
@@ -168,6 +169,24 @@ def cosimulate(lowered: LoweredKernel, mapping: Mapping, memory: Memory,
         for bank, is_write in cycle_accesses:
             per_port[(bank, is_write)] = per_port.get((bank, is_write), 0) + 1
         bank_conflicts += sum(n - 1 for n in per_port.values() if n > 1)
+    tracer = obs.current_tracer()
+    if tracer is not None:
+        tracer.add_span(
+            "cosim",
+            category="sim",
+            start_ns=0,
+            dur_ns=total_cycles * 1000,
+            track=obs.SIM_TRACK,
+            kernel=mapping.dfg.name,
+            iterations=iterations,
+            values_checked=values_checked,
+            memory_accesses=memory_accesses,
+            spm_bank_conflicts=bank_conflicts,
+        )
+    registry = obs.metrics()
+    registry.counter("sim.cosim_runs").inc()
+    registry.counter("sim.memory_accesses").inc(memory_accesses)
+    registry.counter("sim.spm_bank_conflicts").inc(bank_conflicts)
     return CosimResult(
         memory=mem,
         iterations=iterations,

@@ -15,8 +15,9 @@ the cycle count itself is exact either way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.mapper.mapping import Mapping
 from repro.mapper.timing import TimingReport, compute_timing
@@ -83,11 +84,31 @@ def _iteration_events(mapping: Mapping, report: TimingReport) -> list[_Event]:
     return events
 
 
+#: Explicit-replay iterations batched per ``replay_batch`` trace span.
+REPLAY_BATCH_ITERATIONS = 16
+
+
 def simulate_execution(mapping: Mapping, iterations: int,
                        report: TimingReport | None = None) -> ExecutionStats:
-    """Replay ``iterations`` of the modulo schedule and count activity."""
+    """Replay ``iterations`` of the modulo schedule and count activity.
+
+    With a tracer installed, the run records one ``simulate`` span
+    (category ``sim``, wall clock) plus one logical ``replay_batch``
+    span per :data:`REPLAY_BATCH_ITERATIONS` explicit iterations on the
+    simulated-cycles track, so the explicit window renders as a
+    timeline in cycle time.
+    """
     if iterations < 0:
         raise SimulationError("iterations must be non-negative")
+    with obs.span("simulate", category="sim", kernel=mapping.dfg.name,
+                  strategy=mapping.strategy, iterations=iterations) as span:
+        stats = _simulate(mapping, iterations, report)
+        span.set(ii=stats.ii, total_cycles=stats.total_cycles)
+    return stats
+
+
+def _simulate(mapping: Mapping, iterations: int,
+              report: TimingReport | None) -> ExecutionStats:
     report = report or compute_timing(mapping)
     ii = mapping.ii
     normal_mhz = mapping.cgra.dvfs.normal.frequency_mhz
@@ -100,14 +121,31 @@ def simulate_execution(mapping: Mapping, iterations: int,
 
     total_cycles = (iterations - 1) * ii + depth
 
+    tracer = obs.current_tracer()
     explicit = min(iterations, MAX_EXPLICIT_ITERATIONS)
     busy_sets: dict[int, set[int]] = {}
-    for k in range(explicit):
-        base = k * ii
-        for event in events:
-            cycles = busy_sets.setdefault(event.tile, set())
-            for c in range(event.start + base, event.start + base + event.length):
-                cycles.add(c)
+    for batch_start in range(0, explicit, REPLAY_BATCH_ITERATIONS):
+        batch = range(batch_start,
+                      min(batch_start + REPLAY_BATCH_ITERATIONS, explicit))
+        for k in batch:
+            base = k * ii
+            for event in events:
+                cycles = busy_sets.setdefault(event.tile, set())
+                for c in range(event.start + base,
+                               event.start + base + event.length):
+                    cycles.add(c)
+        if tracer is not None:
+            # Logical span: 1 trace microsecond == 1 base cycle.
+            tracer.add_span(
+                f"replay_batch[{batch.start}:{batch.stop}]",
+                category="sim",
+                start_ns=batch.start * ii * 1000,
+                dur_ns=len(batch) * ii * 1000,
+                track=obs.SIM_TRACK,
+                kernel=mapping.dfg.name,
+                iterations=len(batch),
+                busy_slots=sum(len(c) for c in busy_sets.values()),
+            )
     busy_counts = {tile: len(cycles) for tile, cycles in busy_sets.items()}
 
     if iterations > explicit:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.kernels.suite import load_kernel
-from repro.streaming.stage import KernelStage, StreamInput
+from repro.streaming.stage import KernelStage
 
 
 @dataclass

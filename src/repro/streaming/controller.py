@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.arch.dvfs import DVFSConfig, DVFSLevel
 
 
@@ -46,34 +47,60 @@ class DVFSController:
         self.exe_table[kernel_name] += busy_cycles
 
     def end_of_window(self) -> None:
-        """The window-th input was consumed: adjust levels and reset."""
+        """The window-th input was consumed: adjust levels and reset.
+
+        An all-idle window (no recorded execution — e.g. an empty
+        window at the end of a stream) makes no decision and leaves
+        every level untouched; with a tracer installed it still records
+        an ``idle`` decision span so the timeline shows the gap.
+        """
         if not any(self.exe_table.values()):
+            with obs.span("dvfs_decision", category="streaming",
+                          outcome="idle", window=len(self.decisions)):
+                pass
             return
-        bottleneck = max(self.exe_table, key=lambda k: self.exe_table[k])
-        bn_level = self.levels[bottleneck]
-        bn_next = self.dvfs.faster(bn_level)
-        # The bottleneck speeds up; project its new busy time as the bar
-        # every other kernel must stay under after its own change.
-        bar = self.headroom * self.exe_table[bottleneck] * (
-            bn_next.slowdown / bn_level.slowdown
-        )
-        self.levels[bottleneck] = bn_next
-        for name in self.kernel_names:
-            if name == bottleneck:
-                continue
-            current = self.levels[name]
-            slower = self.dvfs.slower(current)
-            if slower is current:
-                continue
-            projected = self.exe_table[name] * (
-                slower.slowdown / current.slowdown
+        busy_inputs = {
+            name: round(cycles, 3)
+            for name, cycles in self.exe_table.items()
+        }
+        with obs.span("dvfs_decision", category="streaming",
+                      window=len(self.decisions)) as span:
+            bottleneck = max(self.exe_table,
+                             key=lambda k: self.exe_table[k])
+            bn_level = self.levels[bottleneck]
+            bn_next = self.dvfs.faster(bn_level)
+            # The bottleneck speeds up; project its new busy time as
+            # the bar every other kernel must stay under after its own
+            # change.
+            bar = self.headroom * self.exe_table[bottleneck] * (
+                bn_next.slowdown / bn_level.slowdown
             )
-            if projected <= bar:
-                self.levels[name] = slower
-            elif self.exe_table[name] > bar and current is not bn_next:
-                # Already over the bar at the current level: raise it
-                # back toward normal instead of stalling the pipeline.
-                self.levels[name] = self.dvfs.faster(current)
+            self.levels[bottleneck] = bn_next
+            for name in self.kernel_names:
+                if name == bottleneck:
+                    continue
+                current = self.levels[name]
+                slower = self.dvfs.slower(current)
+                if slower is current:
+                    continue
+                projected = self.exe_table[name] * (
+                    slower.slowdown / current.slowdown
+                )
+                if projected <= bar:
+                    self.levels[name] = slower
+                elif self.exe_table[name] > bar and current is not bn_next:
+                    # Already over the bar at the current level: raise
+                    # it back toward normal instead of stalling the
+                    # pipeline.
+                    self.levels[name] = self.dvfs.faster(current)
+            span.set(
+                outcome="adjusted",
+                bottleneck=bottleneck,
+                busy_cycles=busy_inputs,
+                levels={n: lv.name for n, lv in self.levels.items()},
+            )
+        registry = obs.metrics()
+        registry.counter("streaming.dvfs_decisions").inc()
         self.decisions.append(
             {name: level.name for name, level in self.levels.items()}
             | {"_bottleneck": bottleneck}

@@ -15,6 +15,7 @@ used to profile the initial mapping for DRIPS and ICED".
 
 from __future__ import annotations
 
+from repro import obs
 from repro.power.model import DEFAULT_POWER_PARAMS, PowerParams
 from repro.streaming.engine import StreamResult, _PipelineSim
 from repro.streaming.partitioner import Partition
@@ -58,7 +59,6 @@ def simulate_drips(partition: Partition, inputs: list[StreamInput],
     """Run the DRIPS configuration on the same partition and inputs."""
     sim = _PipelineSim(partition, params)
     table = partition.ii_table
-    total_islands = len(partition.cgra.islands)
 
     allocation = {
         p.kernel.name: len(p.island_ids) for p in partition.placements
@@ -82,6 +82,10 @@ def simulate_drips(partition: Partition, inputs: list[StreamInput],
     def reshape() -> None:
         if not any(busy.values()):
             return
+        with obs.span("reshape", category="streaming") as span:
+            _reshape(span)
+
+    def _reshape(span) -> None:
         bottleneck = max(busy, key=lambda k: busy[k])
         donors = sorted(
             (k for k in busy if k != bottleneck and allocation[k] > 1),
@@ -123,6 +127,8 @@ def simulate_drips(partition: Partition, inputs: list[StreamInput],
                         RESHAPE_DRAIN_INPUTS * busy[bottleneck]
                         / max(1, window) + RESHAPE_CONFIG_CYCLES
                     )
+                    span.set(outcome="reshaped", donor=donor)
+        span.set(bottleneck=bottleneck, allocation=dict(allocation))
         for name in busy:
             busy[name] = 0.0
         # Power accounting follows the new allocation.

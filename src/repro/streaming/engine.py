@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.power.model import (
     DEFAULT_POWER_PARAMS,
     PowerParams,
@@ -145,7 +146,7 @@ class _PipelineSim:
                 duration = stage_finish - window_start
                 power = self._power_mw(level_name_of)
                 energy = power * (duration / base_mhz) * 1e-3  # mW*us -> uJ
-                windows.append(WindowStats(
+                stats = WindowStats(
                     index=window_index,
                     start_cycle=window_start,
                     end_cycle=stage_finish,
@@ -156,8 +157,30 @@ class _PipelineSim:
                         for p in self.partition.placements
                     },
                     frequency_mhz=base_mhz,
-                ))
+                )
+                windows.append(stats)
                 energy_total += energy
+                tracer = obs.current_tracer()
+                if tracer is not None:
+                    # Logical span on the simulated-cycles track: the
+                    # window's extent in base cycles, the levels its
+                    # kernels ran at, and its energy.
+                    tracer.add_span(
+                        f"window[{window_index}]",
+                        category="streaming",
+                        start_ns=int(window_start * 1000),
+                        dur_ns=int(duration * 1000),
+                        track=obs.SIM_TRACK,
+                        app=self.app.name,
+                        strategy=strategy,
+                        inputs=window_inputs,
+                        energy_uj=round(energy, 3),
+                        power_mw=round(power, 3),
+                        levels=dict(stats.levels),
+                    )
+                registry = obs.metrics()
+                registry.counter("streaming.windows").inc()
+                registry.counter("streaming.inputs").inc(window_inputs)
                 on_window_end()
                 window_start = stage_finish
                 window_inputs = 0

@@ -50,7 +50,7 @@ class TestTopology:
         assert set(cgra44.neighbors(5)) == {1, 4, 6, 9}
 
     def test_links_are_directed_pairs(self, cgra44):
-        links = {(l.src, l.dst) for l in cgra44.links()}
+        links = {(lk.src, lk.dst) for lk in cgra44.links()}
         assert (0, 1) in links and (1, 0) in links
         assert (0, 5) not in links  # no diagonals
 

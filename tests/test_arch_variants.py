@@ -5,7 +5,7 @@ import pytest
 from repro.arch import CGRA
 from repro.arch.fu import alu_fu
 from repro.dfg import DFGBuilder, Opcode
-from repro.errors import ArchitectureError, MappingError
+from repro.errors import ArchitectureError
 from repro.kernels import load_kernel
 from repro.mapper import map_baseline, map_dvfs_aware, validate_mapping
 

@@ -21,7 +21,6 @@ from repro.compile import (
     summarize,
 )
 from repro.dfg import DFGBuilder, Opcode
-from repro.errors import ValidationError
 from repro.kernels import load_kernel
 from repro.mapper.engine import EngineConfig
 from repro.mapper.validation import validate_mapping

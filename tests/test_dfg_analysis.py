@@ -14,7 +14,6 @@ from repro.dfg.analysis import (
     res_mii,
     topo_order,
 )
-from repro.errors import DFGError
 
 
 def chain_with_cycle(cycle_len: int, dist: int = 1):

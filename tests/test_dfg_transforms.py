@@ -12,7 +12,7 @@ def simple_loop():
     phi, add = b.recurrence([Opcode.PHI, Opcode.ADD])
     ld = b.op(Opcode.LOAD)
     b.edge(ld, phi)
-    st = b.op(Opcode.STORE, add)
+    b.op(Opcode.STORE, add)
     return b.build()
 
 
@@ -66,7 +66,7 @@ class TestDeadNodeElimination:
     def test_prunes_unreachable(self):
         b = DFGBuilder("dead")
         live_ld = b.op(Opcode.LOAD)
-        st = b.op(Opcode.STORE, live_ld)
+        b.op(Opcode.STORE, live_ld)
         dead = b.op(Opcode.ADD, live_ld)
         b.op(Opcode.MUL, dead)
         dfg = b.build()

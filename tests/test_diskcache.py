@@ -16,7 +16,6 @@ import multiprocessing
 import os
 import tempfile
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -263,7 +262,7 @@ class TestHousekeeping:
 
     def test_gc_age_horizon(self, tmp_path):
         cache = DiskCache(tmp_path)
-        keys = self._seed(cache, 4)
+        self._seed(cache, 4)
         # Everything was stamped around t=1000: far past any horizon.
         assert cache.gc(max_age_s=3600.0) == 4
         assert len(cache) == 0

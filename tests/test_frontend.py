@@ -1,6 +1,5 @@
 """Frontend tests: AST validation, lowering structure, interpreters."""
 
-import numpy as np
 import pytest
 
 from repro.dfg import Opcode, rec_mii
@@ -12,7 +11,6 @@ from repro.frontend import (
     Cmp,
     Const,
     For,
-    If,
     Kernel,
     Ref,
     Var,
@@ -23,11 +21,8 @@ from repro.frontend import (
 from repro.frontend.ast import Unary
 from repro.kernels.programs import (
     ALL_PROGRAMS,
-    conv1d_program,
     dotprod_program,
     fir_program,
-    histogram_program,
-    mvt_program,
     relu_program,
 )
 from repro.utils.rng import make_rng

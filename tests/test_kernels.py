@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dfg import dfg_stats, rec_mii
+from repro.dfg import dfg_stats
 from repro.dfg.analysis import recurrence_cycles
 from repro.dfg.ops import Opcode
 from repro.errors import DFGError

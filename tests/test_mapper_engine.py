@@ -3,7 +3,7 @@
 import pytest
 
 from repro.arch import CGRA
-from repro.dfg import DFGBuilder, Opcode, rec_mii
+from repro.dfg import DFGBuilder, Opcode
 from repro.errors import MappingError
 from repro.kernels import load_kernel
 from repro.mapper import (

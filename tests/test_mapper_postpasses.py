@@ -3,12 +3,10 @@ validation and the Mapping container."""
 
 import pytest
 
-from repro.arch import CGRA
 from repro.errors import ValidationError
 from repro.kernels import load_kernel
 from repro.mapper import (
     assign_per_tile_dvfs,
-    map_baseline,
     map_dvfs_aware,
     validate_mapping,
 )

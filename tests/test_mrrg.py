@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch import CGRA
 from repro.errors import MappingError
 from repro.mrrg import MRRG, ModuloResourcePool, fu_key, link_key, reg_key, xbar_key
 from repro.mrrg.mrrg import hop_claims, op_claims, wait_claims

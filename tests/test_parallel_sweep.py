@@ -201,7 +201,8 @@ class TestSweepStrategiesParity:
         )
 
         cgra = CGRA.build(6, 6, island_shape=(2, 2))
-        metric = lambda bundle, strategy: float(bundle.mapping.ii)
+        def metric(bundle, strategy):
+            return float(bundle.mapping.ii)
 
         def run(jobs):
             clear_cache()

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.arch import CGRA
 from repro.mrrg import MRRG, link_key, reg_key, xbar_key
 from repro.mapper.routing import find_route, route_arrival, route_claims
 

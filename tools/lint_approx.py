@@ -1,0 +1,270 @@
+"""A zero-dependency approximation of ``ruff check`` (E4/E7/E9/F).
+
+CI runs the real ruff; this script exists for environments without it
+(the default dev container installs nothing beyond the test deps). It
+covers the rules that actually bite in this codebase:
+
+* E401 multiple imports on one line, E402 late module-level import
+* E701/E702 compound statements, E711/E712 ``== None`` / ``== True``
+* E722 bare except, E731 lambda assignment, E741 ambiguous names
+* E9   syntax errors (via ``compile``)
+* F401 unused import, F541 f-string without placeholders,
+  F632 ``is`` with a literal, F841 unused local variable
+
+It is intentionally conservative: no type inference, no cross-module
+resolution, and it only reports patterns it is sure about — a clean
+run here does not guarantee a clean ruff run, but every finding here
+is a real finding there.
+
+Usage::
+
+    python tools/lint_approx.py [paths...]   # default: src tests benchmarks
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Mirrors [tool.ruff.lint.per-file-ignores] in pyproject.toml.
+PER_FILE_IGNORES = {"benchmarks/": ("E402",)}
+
+
+class _Names(ast.NodeVisitor):
+    """Collect every identifier loaded (or referenced in strings for
+    __all__-style re-exports) in a module."""
+
+    def __init__(self) -> None:
+        self.loaded: set[str] = set()
+        self.exported: set[str] = set()
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self.loaded.add(node.id)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        root = node
+        while isinstance(root, ast.Attribute):
+            root = root.value
+        if isinstance(root, ast.Name):
+            self.loaded.add(root.id)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        if "__all__" in targets and isinstance(node.value, (ast.List,
+                                                            ast.Tuple)):
+            for elt in node.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value,
+                                                                str):
+                    self.exported.add(elt.value)
+        self.generic_visit(node)
+
+
+def _import_bindings(tree: ast.Module):
+    """(lineno, bound name, code) for every module-level import."""
+    out = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.partition(".")[0]
+                out.append((node.lineno, bound, "F401"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                out.append((node.lineno, bound, "F401"))
+    return out
+
+
+def _iter_funcs(tree: ast.Module):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+AMBIGUOUS = {"l", "I", "O"}
+
+
+def check_file(path: Path) -> list[str]:
+    rel = path.as_posix()
+    ignored: tuple[str, ...] = ()
+    for prefix, codes in PER_FILE_IGNORES.items():
+        if prefix in rel:
+            ignored = codes
+    source = path.read_text(encoding="utf-8")
+    problems: list[str] = []
+
+    def report(lineno: int, code: str, message: str) -> None:
+        if code not in ignored:
+            problems.append(f"{rel}:{lineno}: {code} {message}")
+
+    try:
+        tree = ast.parse(source, filename=rel)
+        compile(source, rel, "exec")
+    except SyntaxError as exc:
+        return [f"{rel}:{exc.lineno}: E999 {exc.msg}"]
+
+    # -- E702: real semicolon tokens (not ones inside strings) ---------------
+    import io
+    import tokenize
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.OP and tok.string == ";":
+                report(tok.start[0], "E702", "statement separated by ;")
+    except tokenize.TokenError:
+        pass
+
+    # -- E4: imports ---------------------------------------------------------
+    seen_code = False
+    for node in tree.body:
+        is_import = isinstance(node, (ast.Import, ast.ImportFrom))
+        if isinstance(node, ast.Import) and len(node.names) > 1:
+            report(node.lineno, "E401", "multiple imports on one line")
+        if is_import and seen_code:
+            report(node.lineno, "E402",
+                   "module level import not at top of file")
+        if not is_import and not (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+        ) and not isinstance(node, (ast.If, ast.Try)):
+            # docstrings and conditional-import guards don't count
+            seen_code = True
+
+    # -- E7 ------------------------------------------------------------------
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comp in zip(node.ops, node.comparators):
+                if isinstance(comp, ast.Constant):
+                    if comp.value is None and isinstance(
+                        op, (ast.Eq, ast.NotEq)
+                    ):
+                        report(node.lineno, "E711",
+                               "comparison to None with ==/!=")
+                    elif isinstance(comp.value, bool) and isinstance(
+                        op, (ast.Eq, ast.NotEq)
+                    ):
+                        report(node.lineno, "E712",
+                               "comparison to True/False with ==/!=")
+                if isinstance(op, (ast.Is, ast.IsNot)) and isinstance(
+                    comp, ast.Constant
+                ) and not isinstance(comp.value, (bool, type(None))):
+                    report(node.lineno, "F632", "is comparison with literal")
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            report(node.lineno, "E722", "bare except")
+        elif isinstance(node, ast.Assign) and isinstance(node.value,
+                                                         ast.Lambda):
+            report(node.lineno, "E731", "lambda assigned to a name")
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name in AMBIGUOUS:
+                report(node.lineno, "E743", f"ambiguous name {node.name!r}")
+            for arg in (node.args.args + node.args.posonlyargs
+                        + node.args.kwonlyargs):
+                if arg.arg in AMBIGUOUS:
+                    report(arg.lineno, "E741",
+                           f"ambiguous argument {arg.arg!r}")
+        elif isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store,)
+        ) and node.id in AMBIGUOUS:
+            report(node.lineno, "E741", f"ambiguous name {node.id!r}")
+
+    # -- F401 ----------------------------------------------------------------
+    names = _Names()
+    names.visit(tree)
+    is_package_init = path.name == "__init__.py"
+    for lineno, bound, code in _import_bindings(tree):
+        if bound in names.loaded or bound in names.exported:
+            continue
+        if is_package_init:
+            continue  # re-export surface; ruff needs __all__ too, but
+            # every package init here either uses or __all__-lists its
+            # imports
+        report(lineno, code, f"{bound!r} imported but unused")
+
+    # -- F541 ----------------------------------------------------------------
+    # Skip format-spec JoinedStrs ({x:.2f} parses its spec as a nested
+    # JoinedStr on 3.12) — only top-level f-strings count.
+    spec_ids = {
+        id(node.format_spec)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FormattedValue) and node.format_spec
+    }
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.JoinedStr) and id(node) not in spec_ids
+                and not any(isinstance(v, ast.FormattedValue)
+                            for v in node.values)):
+            report(node.lineno, "F541", "f-string without placeholders")
+
+    # -- F841 (simple, function-local, never loaded) -------------------------
+    def _own_scope(func):
+        """Walk a function's body without descending into nested
+        class/function scopes (their bindings are not this scope's)."""
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef, ast.Lambda)):
+                stack.extend(ast.iter_child_nodes(node))
+
+    for func in _iter_funcs(tree):
+        loads: set[str] = set()
+        stores: dict[str, int] = {}
+        for node in ast.walk(func):
+            # Loads anywhere in the function (closures reading an
+            # outer binding count as uses).
+            if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                         ast.Load):
+                loads.add(node.id)
+            elif isinstance(node, (ast.AugAssign,)) and isinstance(
+                node.target, ast.Name
+            ):
+                loads.add(node.target.id)
+        for node in _own_scope(func):
+            # Stores only in the function's own scope (a nested
+            # class/def binds its own namespace, not this one).
+            if isinstance(node, ast.Name) and isinstance(node.ctx,
+                                                         ast.Store):
+                stores.setdefault(node.id, node.lineno)
+        for name, lineno in stores.items():
+            if name not in loads and not name.startswith("_"):
+                # Only flag plain assignments (ruff skips tuple
+                # unpacking, with/for targets by default too).
+                for node in ast.walk(func):
+                    if (isinstance(node, ast.Assign)
+                            and node.lineno == lineno
+                            and len(node.targets) == 1
+                            and isinstance(node.targets[0], ast.Name)
+                            and node.targets[0].id == name):
+                        report(lineno, "F841",
+                               f"local variable {name!r} never used")
+                        break
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(p) for p in argv] or [Path("src"), Path("tests"),
+                                        Path("benchmarks"), Path("tools")]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(root.rglob("*.py")))
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for line in problems:
+        print(line)
+    print(f"{len(files)} files, {len(problems)} findings")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
