@@ -108,6 +108,19 @@ class DVFSConfig:
             raise ArchitectureError("level names must be unique")
         if not self.power_gated.is_gated:
             raise ArchitectureError("power_gated must be a gated level")
+        # Neighbor lookup tables (value-keyed, same semantics as
+        # ``levels.index``): the streaming DVFS controller asks for
+        # slower/faster once per kernel per window, which adds up over
+        # million-input streams.
+        last = len(self.levels) - 1
+        object.__setattr__(self, "_slower_map", {
+            level: self.levels[min(i + 1, last)]
+            for i, level in enumerate(self.levels)
+        })
+        object.__setattr__(self, "_faster_map", {
+            level: self.levels[max(i - 1, 0)]
+            for i, level in enumerate(self.levels)
+        })
 
     @property
     def normal(self) -> DVFSLevel:
@@ -139,13 +152,17 @@ class DVFSConfig:
 
     def slower(self, level: DVFSLevel) -> DVFSLevel:
         """The next slower active level, clamped at the slowest."""
-        i = self.index_of(level)
-        return self.levels[min(i + 1, len(self.levels) - 1)]
+        nxt = self._slower_map.get(level)
+        if nxt is None:
+            self.index_of(level)  # raises ArchitectureError
+        return nxt
 
     def faster(self, level: DVFSLevel) -> DVFSLevel:
         """The next faster active level, clamped at normal."""
-        i = self.index_of(level)
-        return self.levels[max(i - 1, 0)]
+        nxt = self._faster_map.get(level)
+        if nxt is None:
+            self.index_of(level)  # raises ArchitectureError
+        return nxt
 
     def fraction(self, level: DVFSLevel) -> float:
         """Fig 10's metric: normal 1.0, relax 0.5, rest 0.25, gated 0.0."""

@@ -8,29 +8,70 @@ window, raises the bottleneck kernel's islands one level and lowers the
 others — trading idle time in non-bottleneck kernels for energy, which
 is the Fig 13 experiment. DRIPS, the comparison point, instead
 re-allocates islands toward the bottleneck at full voltage.
+
+Two simulation engines share one contract (see
+``docs/streaming_runtime.md``): the scalar reference
+(``simulate_stream`` / ``simulate_drips`` / ``simulate_static``) and
+the window-batched vectorized fast engine (``fast_simulate_*``), which
+produces float-identical results while streaming million-input runs in
+O(window) memory from lazy ``FeatureBlock`` chunks.
 """
 
-from repro.streaming.stage import KernelStage, StreamInput
+from repro.streaming.stage import (
+    DEFAULT_BLOCK_SIZE,
+    FeatureBlock,
+    KernelStage,
+    StreamInput,
+    blocks_of,
+    inputs_of,
+)
 from repro.streaming.app import StreamingApp, gcn_app, lu_app
-from repro.streaming.workloads import EnzymeGraphStream, SparseMatrixStream
+from repro.streaming.workloads import (
+    EnzymeGraphStream,
+    SparseMatrixStream,
+    skip_blocks,
+    take_inputs,
+)
 from repro.streaming.partitioner import Partition, partition_app, streaming_cgra
 from repro.streaming.controller import DVFSController
-from repro.streaming.engine import StreamResult, simulate_stream
-from repro.streaming.drips import simulate_drips, simulate_static
+from repro.streaming.engine import (
+    FastPipelineSim,
+    StreamResult,
+    WindowStats,
+    fast_simulate_stream,
+    simulate_stream,
+)
+from repro.streaming.drips import (
+    fast_simulate_drips,
+    fast_simulate_static,
+    simulate_drips,
+    simulate_static,
+)
 
 __all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "FeatureBlock",
     "KernelStage",
     "StreamInput",
+    "blocks_of",
+    "inputs_of",
     "StreamingApp",
     "gcn_app",
     "lu_app",
     "EnzymeGraphStream",
     "SparseMatrixStream",
+    "skip_blocks",
+    "take_inputs",
     "Partition",
     "partition_app",
     "streaming_cgra",
     "DVFSController",
+    "FastPipelineSim",
     "StreamResult",
+    "WindowStats",
+    "fast_simulate_stream",
+    "fast_simulate_drips",
+    "fast_simulate_static",
     "simulate_stream",
     "simulate_drips",
     "simulate_static",

@@ -13,11 +13,22 @@ Stage graphs follow the paper (Table I's island column and section V):
   solvers run in parallel, as do invert/determinant):
   init -> decompose -> (solver0 | solver1) -> (invert | determinant),
   preferring 1+1+(2+2)+(1+2) = 9 islands.
+
+Iteration models are written as pure feature arithmetic (``item.get``
+plus ``*``/``+``), so the same lambda evaluates one
+:class:`~repro.streaming.stage.StreamInput` *or* a whole
+:class:`~repro.streaming.stage.FeatureBlock` — truncation to an
+iteration count happens once, in ``KernelStage.iterations``. The only
+exception is solver0's ``** 1.5``: numpy's vectorized pow rounds
+differently than libm's, so its batch model runs libm pow per element
+to stay bit-identical with the scalar engine.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.kernels.suite import load_kernel
 from repro.streaming.stage import KernelStage
@@ -48,25 +59,26 @@ class StreamingApp:
 
 
 def _stage(name: str, model, islands: int, unroll: int = 1,
-           instance: str = "") -> KernelStage:
+           instance: str = "", batch_model=None) -> KernelStage:
     dfg = load_kernel(name, unroll)
     if instance:
         dfg = dfg.copy(name=f"{name}.{instance}")
     return KernelStage(
         name=dfg.name, dfg=dfg, iteration_model=model,
         preferred_islands=islands,
+        # Feature-arithmetic models vectorize as themselves unless a
+        # bit-exact twin is supplied explicitly.
+        batch_model=batch_model if batch_model is not None else model,
     )
 
 
 def gcn_app(unroll: int = 1) -> StreamingApp:
     """The 2-layer GCN inference pipeline over graph inputs."""
     def by_nnz(scale: float):
-        return lambda item: int(scale * item.get("nnz"))
+        return lambda item: scale * item.get("nnz")
 
     def by_nodes(scale: float):
-        return lambda item: int(
-            scale * item.get("n_nodes") * item.get("features")
-        )
+        return lambda item: scale * item.get("n_nodes") * item.get("features")
 
     return StreamingApp(name="gcn", stages=[
         [_stage("compress", by_nnz(1.0), 1, unroll)],
@@ -74,28 +86,37 @@ def gcn_app(unroll: int = 1) -> StreamingApp:
         [_stage("combine", by_nodes(2.0), 1, unroll)],
         [_stage("aggregate", by_nnz(2.0), 2, unroll, instance="l2")],
         [_stage("combrelu", by_nodes(1.5), 2, unroll)],
-        [_stage("pooling", lambda item: int(item.get("n_nodes")), 1, unroll)],
+        [_stage("pooling", lambda item: item.get("n_nodes"), 1, unroll)],
     ])
+
+
+def _solver0_model(item):
+    return item.get("n") ** 1.5 * 0.9
+
+
+def _solver0_batch(block):
+    # libm pow per element: python's ``**`` and numpy's vectorized pow
+    # disagree in the last ulp, and bit-identity with the scalar
+    # engine matters more here than one vectorized op.
+    n = block.get("n")
+    return np.array([v ** 1.5 for v in n.tolist()], dtype=np.float64) * 0.9
 
 
 def lu_app(unroll: int = 1) -> StreamingApp:
     """The synthesized LU-decomposition pipeline over sparse matrices."""
-    def model(expr):
-        return lambda item: int(expr(item))
-
     return StreamingApp(name="lu", stages=[
-        [_stage("lu_init", model(lambda x: x.get("n") * 4), 1, unroll)],
-        [_stage("decompose", model(lambda x: x.get("nnz") * 0.8), 1, unroll)],
+        [_stage("lu_init", lambda x: x.get("n") * 4, 1, unroll)],
+        [_stage("decompose", lambda x: x.get("nnz") * 0.8, 1, unroll)],
         [
-            _stage("solver0", model(lambda x: x.get("n") ** 1.5 * 0.9), 2,
-                   unroll),
+            _stage("solver0", _solver0_model, 2, unroll,
+                   batch_model=_solver0_batch),
             _stage("solver1",
-                   model(lambda x: x.get("nnz") * 0.35 + x.get("n")), 2,
+                   lambda x: x.get("nnz") * 0.35 + x.get("n"), 2,
                    unroll),
         ],
         [
-            _stage("invert", model(lambda x: x.get("n") * 3), 1, unroll),
-            _stage("determinant", model(lambda x: x.get("n") * 2.5), 2,
+            _stage("invert", lambda x: x.get("n") * 3, 1, unroll),
+            _stage("determinant", lambda x: x.get("n") * 2.5, 2,
                    unroll),
         ],
     ])

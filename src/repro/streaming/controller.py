@@ -30,14 +30,21 @@ class DVFSController:
     #: fraction of the bottleneck's, or it would become the new
     #: bottleneck and throughput would degrade.
     headroom: float = 0.9
+    #: Keep the per-window decision log. Million-input runs turn this
+    #: off so controller state stays O(kernels); levels still adjust
+    #: identically — only the ``decisions`` history is skipped.
+    record_decisions: bool = True
     levels: dict[str, DVFSLevel] = field(init=False)
     exe_table: dict[str, float] = field(init=False)
     decisions: list[dict[str, str]] = field(init=False)
+    #: Decisions made so far (== ``len(decisions)`` when recording).
+    num_decisions: int = field(init=False)
 
     def __post_init__(self) -> None:
         self.levels = {name: self.dvfs.normal for name in self.kernel_names}
         self.exe_table = {name: 0.0 for name in self.kernel_names}
         self.decisions = []
+        self.num_decisions = 0
 
     def level_of(self, kernel_name: str) -> DVFSLevel:
         return self.levels[kernel_name]
@@ -56,15 +63,11 @@ class DVFSController:
         """
         if not any(self.exe_table.values()):
             with obs.span("dvfs_decision", category="streaming",
-                          outcome="idle", window=len(self.decisions)):
+                          outcome="idle", window=self.num_decisions):
                 pass
             return
-        busy_inputs = {
-            name: round(cycles, 3)
-            for name, cycles in self.exe_table.items()
-        }
         with obs.span("dvfs_decision", category="streaming",
-                      window=len(self.decisions)) as span:
+                      window=self.num_decisions) as span:
             bottleneck = max(self.exe_table,
                              key=lambda k: self.exe_table[k])
             bn_level = self.levels[bottleneck]
@@ -93,16 +96,25 @@ class DVFSController:
                     # it back toward normal instead of stalling the
                     # pipeline.
                     self.levels[name] = self.dvfs.faster(current)
-            span.set(
-                outcome="adjusted",
-                bottleneck=bottleneck,
-                busy_cycles=busy_inputs,
-                levels={n: lv.name for n, lv in self.levels.items()},
-            )
+            if obs.current_tracer() is not None:
+                # Span attributes are built lazily: the exeTable is
+                # not reset until after this block, so the values
+                # match what an eager snapshot would have captured.
+                span.set(
+                    outcome="adjusted",
+                    bottleneck=bottleneck,
+                    busy_cycles={
+                        name: round(cycles, 3)
+                        for name, cycles in self.exe_table.items()
+                    },
+                    levels={n: lv.name for n, lv in self.levels.items()},
+                )
         registry = obs.metrics()
         registry.counter("streaming.dvfs_decisions").inc()
-        self.decisions.append(
-            {name: level.name for name, level in self.levels.items()}
-            | {"_bottleneck": bottleneck}
-        )
+        if self.record_decisions:
+            self.decisions.append(
+                {name: level.name for name, level in self.levels.items()}
+                | {"_bottleneck": bottleneck}
+            )
+        self.num_decisions += 1
         self.exe_table = {name: 0.0 for name in self.kernel_names}

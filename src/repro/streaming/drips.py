@@ -11,13 +11,24 @@ The re-shaper consults the same II table the ICED partitioner profiled
 (II as a function of island count per kernel) and starts from the same
 initial partition, mirroring the paper's "first 50 input instances are
 used to profile the initial mapping for DRIPS and ICED".
+
+The reshape logic lives in :class:`_DripsState`, shared verbatim
+between the scalar reference engine and the fast window-batched engine
+so the two cannot drift apart.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import obs
 from repro.power.model import DEFAULT_POWER_PARAMS, PowerParams
-from repro.streaming.engine import StreamResult, _PipelineSim
+from repro.streaming.engine import (
+    FastPipelineSim,
+    StreamResult,
+    _as_blocks,
+    _PipelineSim,
+)
 from repro.streaming.partitioner import Partition
 from repro.streaming.stage import StreamInput
 
@@ -52,40 +63,82 @@ def simulate_static(partition: Partition, inputs: list[StreamInput],
     )
 
 
-def simulate_drips(partition: Partition, inputs: list[StreamInput],
-                   window: int = 10,
-                   params: PowerParams = DEFAULT_POWER_PARAMS,
-                   max_islands_per_kernel: int = 4) -> StreamResult:
-    """Run the DRIPS configuration on the same partition and inputs."""
-    sim = _PipelineSim(partition, params)
-    table = partition.ii_table
+def fast_simulate_static(partition: Partition, stream, window: int = 10,
+                         params: PowerParams = DEFAULT_POWER_PARAMS,
+                         keep_windows: bool = True) -> StreamResult:
+    """The static baseline on the fast engine — float-identical to
+    :func:`simulate_static`."""
+    sim = FastPipelineSim(partition, params)
+    adapter = _FastStatic(partition)
+    return sim.run_blocks(_as_blocks(stream), window, adapter,
+                          keep_windows=keep_windows)
 
-    allocation = {
-        p.kernel.name: len(p.island_ids) for p in partition.placements
-    }
-    busy: dict[str, float] = {name: 0.0 for name in allocation}
-    penalty: dict[str, float] = {name: 0.0 for name in allocation}
 
-    def current_ii(name: str) -> int:
-        ii = table.get((name, allocation[name]))
+class _FastStatic:
+    """Fast-engine adapter for the static baseline: fixed IIs, nominal
+    level everywhere, no window-end action. Latencies are pure integer
+    products, so the numpy scan applies."""
+
+    vector_ok = True
+    strategy = "static"
+
+    def __init__(self, partition: Partition):
+        self._ii = {
+            p.kernel.name: float(p.ii) for p in partition.placements
+        }
+        self._normal = partition.cgra.dvfs.normal.name
+
+    def level_name_of(self, name: str) -> str:
+        return self._normal
+
+    def latency_window(self, name: str, counts: np.ndarray) -> np.ndarray:
+        # float multiplier -> float64 latencies in one op; exact, since
+        # every operand and product is an integer below 2**53.
+        return counts * self._ii[name]
+
+    def on_window_end(self) -> None:
+        pass
+
+
+class _DripsState:
+    """The DRIPS re-shaper's mutable state and window-end decision.
+
+    Both engines drive this one implementation: the scalar engine
+    through a per-input ``latency_of`` closure, the fast engine through
+    :class:`_FastDrips` — identical arithmetic either way.
+    """
+
+    def __init__(self, sim: _PipelineSim, partition: Partition,
+                 window: int, max_islands_per_kernel: int):
+        self.sim = sim
+        self.partition = partition
+        self.table = partition.ii_table
+        self.window = window
+        self.max_islands = max_islands_per_kernel
+        self.allocation = {
+            p.kernel.name: len(p.island_ids) for p in partition.placements
+        }
+        self.busy: dict[str, float] = {name: 0.0 for name in self.allocation}
+        self.penalty: dict[str, float] = {
+            name: 0.0 for name in self.allocation
+        }
+
+    def current_ii(self, name: str) -> int:
+        ii = self.table.get((name, self.allocation[name]))
         if ii is None:  # fall back to the realized mapping's II
-            ii = partition.placement_of(name).ii
+            ii = self.partition.placement_of(name).ii
         return ii
 
-    def latency_of(kernel, item: StreamInput) -> float:
-        cycles = kernel.iterations(item) * current_ii(kernel.name)
-        cycles += penalty[kernel.name]
-        penalty[kernel.name] = 0.0
-        busy[kernel.name] += cycles
-        return cycles
-
-    def reshape() -> None:
-        if not any(busy.values()):
+    def end_of_window(self) -> None:
+        if not any(self.busy.values()):
             return
         with obs.span("reshape", category="streaming") as span:
-            _reshape(span)
+            self._reshape(span)
 
-    def _reshape(span) -> None:
+    def _reshape(self, span) -> None:
+        busy = self.busy
+        allocation = self.allocation
+        table = self.table
         bottleneck = max(busy, key=lambda k: busy[k])
         donors = sorted(
             (k for k in busy if k != bottleneck and allocation[k] > 1),
@@ -93,7 +146,7 @@ def simulate_drips(partition: Partition, inputs: list[StreamInput],
         )
         grown = allocation[bottleneck] + 1
         can_grow = (
-            grown <= max_islands_per_kernel
+            grown <= self.max_islands
             and table.get((bottleneck, grown)) is not None
             and donors
         )
@@ -106,44 +159,116 @@ def simulate_drips(partition: Partition, inputs: list[StreamInput],
                 # the next window beats the drain/reload cost.
                 bn_gain = busy[bottleneck] * (
                     1.0 - table[(bottleneck, grown)]
-                    / current_ii(bottleneck)
+                    / self.current_ii(bottleneck)
                 )
                 donor_loss = max(
                     0.0,
-                    busy[donor] * (new_donor_ii / current_ii(donor) - 1.0)
+                    busy[donor]
+                    * (new_donor_ii / self.current_ii(donor) - 1.0)
                     - (busy[bottleneck] - busy[donor]),
                 )
                 drain = RESHAPE_DRAIN_INPUTS * (
                     busy[bottleneck] + busy[donor]
-                ) / max(1, window) + 2 * RESHAPE_CONFIG_CYCLES
+                ) / max(1, self.window) + 2 * RESHAPE_CONFIG_CYCLES
                 if bn_gain - donor_loss > drain:
                     allocation[donor] = shrunk
                     allocation[bottleneck] = grown
-                    penalty[donor] += (
-                        RESHAPE_DRAIN_INPUTS * busy[donor] / max(1, window)
-                        + RESHAPE_CONFIG_CYCLES
+                    self.penalty[donor] += (
+                        RESHAPE_DRAIN_INPUTS * busy[donor]
+                        / max(1, self.window) + RESHAPE_CONFIG_CYCLES
                     )
-                    penalty[bottleneck] += (
+                    self.penalty[bottleneck] += (
                         RESHAPE_DRAIN_INPUTS * busy[bottleneck]
-                        / max(1, window) + RESHAPE_CONFIG_CYCLES
+                        / max(1, self.window) + RESHAPE_CONFIG_CYCLES
                     )
                     span.set(outcome="reshaped", donor=donor)
         span.set(bottleneck=bottleneck, allocation=dict(allocation))
         for name in busy:
             busy[name] = 0.0
         # Power accounting follows the new allocation.
-        for placement in partition.placements:
+        for placement in self.partition.placements:
             name = placement.kernel.name
-            tiles_per_island = len(placement.tile_ids(partition.cgra)) // max(
-                1, len(placement.island_ids)
+            tiles_per_island = len(
+                placement.tile_ids(self.partition.cgra)
+            ) // max(1, len(placement.island_ids))
+            self.sim.kernel_tiles[name] = (
+                tiles_per_island * allocation[name]
             )
-            sim.kernel_tiles[name] = tiles_per_island * allocation[name]
 
-    result = sim.run(
+
+class _FastDrips:
+    """Fast-engine adapter for DRIPS.
+
+    Reshape penalties are fractional (``busy / window``), so the
+    cumsum-based numpy scan could round differently than the
+    sequential recurrence — this adapter opts out (``vector_ok =
+    False``) and reproduces the scalar engine's per-input arithmetic
+    exactly: penalty consumed by the kernel's first input of the
+    window, busy time accumulated sequentially in the same order.
+    """
+
+    vector_ok = False
+
+    def __init__(self, state: _DripsState):
+        self.state = state
+        self._normal = state.partition.cgra.dvfs.normal.name
+
+    strategy = "drips"
+
+    def level_name_of(self, name: str) -> str:
+        return self._normal
+
+    def latency_window(self, name: str, counts: np.ndarray) -> list[float]:
+        state = self.state
+        ii = state.current_ii(name)
+        busy = state.busy[name]
+        lats: list[float] = []
+        for count in counts.tolist():
+            cycles = count * ii
+            cycles += state.penalty[name]
+            state.penalty[name] = 0.0
+            busy += cycles
+            lats.append(cycles)
+        state.busy[name] = busy
+        return lats
+
+    def on_window_end(self) -> None:
+        self.state.end_of_window()
+
+
+def simulate_drips(partition: Partition, inputs: list[StreamInput],
+                   window: int = 10,
+                   params: PowerParams = DEFAULT_POWER_PARAMS,
+                   max_islands_per_kernel: int = 4) -> StreamResult:
+    """Run the DRIPS configuration on the same partition and inputs
+    (scalar reference engine)."""
+    sim = _PipelineSim(partition, params)
+    state = _DripsState(sim, partition, window, max_islands_per_kernel)
+
+    def latency_of(kernel, item: StreamInput) -> float:
+        cycles = kernel.iterations(item) * state.current_ii(kernel.name)
+        cycles += state.penalty[kernel.name]
+        state.penalty[kernel.name] = 0.0
+        state.busy[kernel.name] += cycles
+        return cycles
+
+    return sim.run(
         inputs, window,
         latency_of=latency_of,
         level_name_of=lambda name: partition.cgra.dvfs.normal.name,
-        on_window_end=reshape,
+        on_window_end=state.end_of_window,
         strategy="drips",
     )
-    return result
+
+
+def fast_simulate_drips(partition: Partition, stream, window: int = 10,
+                        params: PowerParams = DEFAULT_POWER_PARAMS,
+                        max_islands_per_kernel: int = 4,
+                        keep_windows: bool = True) -> StreamResult:
+    """The DRIPS configuration on the fast engine — float-identical to
+    :func:`simulate_drips`."""
+    sim = FastPipelineSim(partition, params)
+    state = _DripsState(sim, partition, window, max_islands_per_kernel)
+    adapter = _FastDrips(state)
+    return sim.run_blocks(_as_blocks(stream), window, adapter,
+                          keep_windows=keep_windows)

@@ -11,11 +11,37 @@ Energy integrates per window: each kernel's islands burn their level's
 tile power for the window's duration (idle-but-clocked tiles burn like
 busy ones at the same level — which is precisely the waste DVFS
 recovers), plus island DVFS controllers and the SPM.
+
+Two engines share that contract:
+
+* :class:`_PipelineSim` — the scalar reference: one input at a time
+  through nested Python loops, trivially auditable.
+* :class:`FastPipelineSim` — window-batched and numpy-vectorized.
+  Levels (and DRIPS shapes) only change at window boundaries, so
+  within a window every kernel's latency vector is known up front and
+  the recurrence ``finish[i] = max(s[i], finish[i-1]) + lat[i]``
+  becomes a max-plus scan: with ``C = cumsum(lat)``,
+  ``finish[i] = C[i] + max(carry, max_{j<=i}(s[j] - C[j-1]))`` —
+  a ``cumsum`` plus a ``maximum.accumulate``. Every quantity involved
+  is an integer-valued float64 far below 2**53 (iterations, IIs and
+  slowdowns are integers), so each operation is exact and the scan is
+  **bit-identical** to the sequential recurrence, not merely close.
+  Strategies whose latencies are fractional (DRIPS charges
+  ``busy/window`` reshape penalties) opt out of the numpy scan
+  (``vector_ok = False``) and run an exact sequential scan in the
+  scalar engine's operation order instead — still window-batched, so
+  they keep the batched iteration-model evaluation and power
+  memoization. The differential hypothesis suite pins equality of the
+  full ``StreamResult``/``WindowStats``/decision stream.
 """
 
 from __future__ import annotations
 
+import time
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro import obs
 from repro.power.model import (
@@ -26,7 +52,23 @@ from repro.power.model import (
 from repro.power.sram import SRAMModel
 from repro.streaming.controller import DVFSController
 from repro.streaming.partitioner import Partition
-from repro.streaming.stage import StreamInput
+from repro.streaming.stage import (
+    FeatureBlock,
+    KernelStage,
+    StreamInput,
+    blocks_of,
+)
+
+#: Below this window size the numpy scan's per-call overhead outweighs
+#: the vectorization win, so the fast engine runs its exact Python-list
+#: scan instead (identical results either way — the threshold is purely
+#: a speed knob).
+_VECTOR_WINDOW_MIN = 24
+
+#: Buckets (wall ms) for the per-window decision latency histogram —
+#: decisions are microsecond-scale, far below the default buckets.
+_DECISION_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                     1.0, 5.0, 25.0)
 
 
 @dataclass
@@ -39,7 +81,7 @@ class WindowStats:
     inputs: int
     energy_uj: float
     levels: dict[str, str]
-    frequency_mhz: float = 434.0
+    frequency_mhz: float
 
     @property
     def duration_cycles(self) -> float:
@@ -71,8 +113,8 @@ class StreamResult:
     makespan_cycles: float
     total_energy_uj: float
     inputs: int
+    frequency_mhz: float
     windows: list[WindowStats] = field(default_factory=list)
-    frequency_mhz: float = 434.0
 
     @property
     def makespan_us(self) -> float:
@@ -119,6 +161,7 @@ class _PipelineSim:
     def run(self, inputs: list[StreamInput], window: int,
             latency_of, level_name_of, on_window_end, strategy: str,
             ) -> StreamResult:
+        wall_start = time.perf_counter()
         stage_finish = 0.0
         windows: list[WindowStats] = []
         window_start = 0.0
@@ -127,7 +170,8 @@ class _PipelineSim:
         energy_total = 0.0
 
         base_mhz = self.cgra.dvfs.normal.frequency_mhz
-        for item in inputs:
+        last_index = len(inputs) - 1
+        for index, item in enumerate(inputs):
             prev_stage_done = 0.0
             for stage in self.app.stages:
                 stage_done = prev_stage_done
@@ -142,7 +186,7 @@ class _PipelineSim:
             stage_finish = max(stage_finish, prev_stage_done)
             window_inputs += 1
 
-            if window_inputs == window or item is inputs[-1]:
+            if window_inputs == window or index == last_index:
                 duration = stage_finish - window_start
                 power = self._power_mw(level_name_of)
                 energy = power * (duration / base_mhz) * 1e-3  # mW*us -> uJ
@@ -160,40 +204,26 @@ class _PipelineSim:
                 )
                 windows.append(stats)
                 energy_total += energy
-                tracer = obs.current_tracer()
-                if tracer is not None:
-                    # Logical span on the simulated-cycles track: the
-                    # window's extent in base cycles, the levels its
-                    # kernels ran at, and its energy.
-                    tracer.add_span(
-                        f"window[{window_index}]",
-                        category="streaming",
-                        start_ns=int(window_start * 1000),
-                        dur_ns=int(duration * 1000),
-                        track=obs.SIM_TRACK,
-                        app=self.app.name,
-                        strategy=strategy,
-                        inputs=window_inputs,
-                        energy_uj=round(energy, 3),
-                        power_mw=round(power, 3),
-                        levels=dict(stats.levels),
-                    )
+                _emit_window_span(self.app.name, strategy, window_index,
+                                  window_start, duration, window_inputs,
+                                  energy, power, stats.levels)
                 registry = obs.metrics()
                 registry.counter("streaming.windows").inc()
                 registry.counter("streaming.inputs").inc(window_inputs)
-                on_window_end()
+                _timed_window_end(registry, on_window_end)
                 window_start = stage_finish
                 window_inputs = 0
                 window_index += 1
 
+        _set_throughput_gauge(len(inputs), wall_start)
         return StreamResult(
             app=self.app.name,
             strategy=strategy,
             makespan_cycles=stage_finish,
             total_energy_uj=energy_total,
             inputs=len(inputs),
-            windows=windows,
             frequency_mhz=base_mhz,
+            windows=windows,
         )
 
     def _power_mw(self, level_name_of) -> float:
@@ -220,11 +250,339 @@ class _PipelineSim:
         return total
 
 
+def _emit_window_span(app_name: str, strategy: str, window_index: int,
+                      window_start: float, duration: float,
+                      window_inputs: int, energy: float, power: float,
+                      levels: dict[str, str]) -> None:
+    tracer = obs.current_tracer()
+    if tracer is None:
+        return
+    # Logical span on the simulated-cycles track: the window's extent
+    # in base cycles, the levels its kernels ran at, and its energy.
+    tracer.add_span(
+        f"window[{window_index}]",
+        category="streaming",
+        start_ns=int(window_start * 1000),
+        dur_ns=int(duration * 1000),
+        track=obs.SIM_TRACK,
+        app=app_name,
+        strategy=strategy,
+        inputs=window_inputs,
+        energy_uj=round(energy, 3),
+        power_mw=round(power, 3),
+        levels=dict(levels),
+    )
+
+
+def _timed_window_end(registry, on_window_end) -> None:
+    t0 = time.perf_counter()
+    on_window_end()
+    registry.histogram("streaming.decision_latency_ms",
+                       buckets=_DECISION_BUCKETS).observe(
+        (time.perf_counter() - t0) * 1e3
+    )
+
+
+def _set_throughput_gauge(total_inputs: int, wall_start: float) -> None:
+    elapsed = time.perf_counter() - wall_start
+    if elapsed > 0:
+        obs.metrics().gauge("streaming.inputs_per_sec").set(
+            total_inputs / elapsed
+        )
+
+
+def _maxplus_scan_array(s: np.ndarray, carry: float,
+                        lat: np.ndarray) -> np.ndarray:
+    """``finish[i] = max(s[i], finish[i-1]) + lat[i]`` with
+    ``finish[-1] = carry``, vectorized.
+
+    Unrolling the recurrence:
+    ``finish[i] = C[i] + max(carry, max_{j<=i}(s[j] - C[j-1]))`` with
+    ``C = cumsum(lat)`` and ``C[-1] = 0``. For integer-valued float64
+    operands below 2**53 every subtraction/summation here is exact, so
+    the result is bit-identical to evaluating the recurrence
+    sequentially.
+    """
+    c = np.add.accumulate(lat)
+    g = np.empty_like(s)
+    g[0] = s[0] if s[0] >= carry else carry
+    np.subtract(s[1:], c[:-1], out=g[1:])
+    np.maximum.accumulate(g, out=g)
+    g += c
+    return g
+
+
+def _maxplus_scan_list(s: list[float], carry: float,
+                       lat: list[float]) -> list[float]:
+    """The same recurrence as :func:`_maxplus_scan_array`, evaluated
+    sequentially in the scalar engine's exact operation order — used
+    for small windows and for strategies with fractional latencies
+    (where the cumsum form could round differently)."""
+    out = []
+    prev = carry
+    for done, latency in zip(s, lat):
+        start = done if done >= prev else prev
+        prev = start + latency
+        out.append(prev)
+    return out
+
+
+def _window_iteration_chunks(
+    blocks: Iterable[FeatureBlock],
+    kernels: Sequence[KernelStage],
+    window: int,
+) -> Iterator[tuple[dict[str, np.ndarray], int]]:
+    """Re-chunk a block stream into per-window iteration-count arrays.
+
+    Iteration models evaluate once per *block* (amortizing Python
+    dispatch over thousands of inputs); the resulting int64 arrays are
+    sliced into window-sized pieces, stitching across block boundaries
+    as needed. Yields ``({kernel_name: counts}, n_inputs)`` with
+    ``n_inputs == window`` everywhere except a final partial window.
+    """
+    names = [k.name for k in kernels]
+    pending: dict[str, list[np.ndarray]] = {name: [] for name in names}
+    buffered = 0
+    for block in blocks:
+        counts = {k.name: k.iterations_block(block) for k in kernels}
+        n = len(block)
+        pos = 0
+        while pos < n:
+            take = min(window - buffered, n - pos)
+            for name in names:
+                pending[name].append(counts[name][pos:pos + take])
+            buffered += take
+            pos += take
+            if buffered == window:
+                yield {name: _cat(pending[name]) for name in names}, window
+                pending = {name: [] for name in names}
+                buffered = 0
+    if buffered:
+        yield {name: _cat(pending[name]) for name in names}, buffered
+
+
+def _cat(parts: list[np.ndarray]) -> np.ndarray:
+    return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
+
+class FastPipelineSim(_PipelineSim):
+    """Window-batched, vectorized pipeline simulation.
+
+    Consumes the stream as :class:`FeatureBlock` chunks (never the
+    whole input list), advances the recurrence one *window* at a time
+    via max-plus scans, and memoizes the power model per
+    (levels, shape) configuration. Produces results float-identical to
+    :class:`_PipelineSim` — same ``WindowStats`` sequence, same
+    decisions, same makespan/energy.
+    """
+
+    def __init__(self, partition: Partition,
+                 params: PowerParams = DEFAULT_POWER_PARAMS):
+        super().__init__(partition, params)
+        self._power_memo: dict[tuple, float] = {}
+        self._placement_names = [
+            p.kernel.name for p in partition.placements
+        ]
+
+    def _power_mw_cached(self, level_names: tuple[str, ...],
+                         level_name_of) -> float:
+        key = (
+            level_names,
+            tuple(self.kernel_tiles[name]
+                  for name in self._placement_names),
+        )
+        power = self._power_memo.get(key)
+        if power is None:
+            power = self._power_mw(level_name_of)
+            self._power_memo[key] = power
+        return power
+
+    def run_blocks(self, blocks: Iterable[FeatureBlock], window: int,
+                   adapter, *, keep_windows: bool = True) -> StreamResult:
+        """Stream ``blocks`` through the pipeline under ``adapter``.
+
+        ``adapter`` supplies the strategy: per-window latency vectors
+        (with whatever bookkeeping the strategy's controller needs),
+        level names for the power model, and the window-end hook.
+        ``keep_windows=False`` drops the per-window stats list so a
+        million-input run holds O(window) state.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        wall_start = time.perf_counter()
+        stage_finish = 0.0
+        windows: list[WindowStats] = []
+        window_start = 0.0
+        window_index = 0
+        energy_total = 0.0
+        total_inputs = 0
+
+        base_mhz = self.cgra.dvfs.normal.frequency_mhz
+        kernels = self.app.all_kernels()
+        use_vector = adapter.vector_ok and window >= _VECTOR_WINDOW_MIN
+        level_name_of = adapter.level_name_of
+        on_window_end = adapter.on_window_end
+        placement_names = self._placement_names
+        # Hoisted instruments: one registry lookup per run, not per
+        # window.
+        registry = obs.metrics()
+        windows_counter = registry.counter("streaming.windows")
+        inputs_counter = registry.counter("streaming.inputs")
+        decision_hist = registry.histogram("streaming.decision_latency_ms",
+                                           buckets=_DECISION_BUCKETS)
+
+        for counts, n_inputs in _window_iteration_chunks(
+                blocks, kernels, window):
+            total_inputs += n_inputs
+            if use_vector:
+                last_done = self._advance_window_vector(counts, n_inputs,
+                                                        adapter)
+            else:
+                last_done = self._advance_window_list(counts, n_inputs,
+                                                      adapter)
+            # Last-stage finishes increase strictly (every latency is
+            # >= 1 cycle), so the window's running max is its final
+            # element.
+            if last_done > stage_finish:
+                stage_finish = last_done
+
+            duration = stage_finish - window_start
+            level_names = tuple(
+                level_name_of(name) for name in placement_names
+            )
+            power = self._power_mw_cached(level_names, level_name_of)
+            energy = power * (duration / base_mhz) * 1e-3  # mW*us -> uJ
+            levels = dict(zip(placement_names, level_names))
+            if keep_windows:
+                windows.append(WindowStats(
+                    index=window_index,
+                    start_cycle=window_start,
+                    end_cycle=stage_finish,
+                    inputs=n_inputs,
+                    energy_uj=energy,
+                    levels=levels,
+                    frequency_mhz=base_mhz,
+                ))
+            energy_total += energy
+            _emit_window_span(self.app.name, adapter.strategy, window_index,
+                              window_start, duration, n_inputs,
+                              energy, power, levels)
+            windows_counter.inc()
+            inputs_counter.inc(n_inputs)
+            t0 = time.perf_counter()
+            on_window_end()
+            decision_hist.observe((time.perf_counter() - t0) * 1e3)
+            window_start = stage_finish
+            window_index += 1
+
+        _set_throughput_gauge(total_inputs, wall_start)
+        return StreamResult(
+            app=self.app.name,
+            strategy=adapter.strategy,
+            makespan_cycles=stage_finish,
+            total_energy_uj=energy_total,
+            inputs=total_inputs,
+            frequency_mhz=base_mhz,
+            windows=windows,
+        )
+
+    _zeros: np.ndarray | None = None
+
+    def _advance_window_vector(self, counts: dict[str, np.ndarray],
+                               n_inputs: int, adapter) -> float:
+        zeros = self._zeros
+        if zeros is None or len(zeros) != n_inputs:
+            zeros = self._zeros = np.zeros(n_inputs)
+        prev_stage: np.ndarray | None = None
+        for stage in self.app.stages:
+            s = zeros if prev_stage is None else prev_stage
+            stage_done: np.ndarray | None = None
+            for kernel in stage:
+                name = kernel.name
+                lat = adapter.latency_window(name, counts[name])
+                finish = _maxplus_scan_array(s, self.prev_finish[name], lat)
+                self.prev_finish[name] = float(finish[-1])
+                if stage_done is None:
+                    stage_done = finish
+                else:
+                    np.maximum(stage_done, finish, out=stage_done)
+            prev_stage = stage_done
+        return float(prev_stage[-1])
+
+    def _advance_window_list(self, counts: dict[str, np.ndarray],
+                             n_inputs: int, adapter) -> float:
+        prev_stage: list[float] = [0.0] * n_inputs
+        for stage in self.app.stages:
+            stage_done: list[float] | None = None
+            for kernel in stage:
+                name = kernel.name
+                lat = adapter.latency_window(name, counts[name])
+                if not isinstance(lat, list):
+                    lat = lat.tolist()
+                finish = _maxplus_scan_list(prev_stage,
+                                            self.prev_finish[name], lat)
+                self.prev_finish[name] = float(finish[-1])
+                if stage_done is None:
+                    stage_done = finish
+                else:
+                    stage_done = [
+                        a if a >= b else b
+                        for a, b in zip(stage_done, finish)
+                    ]
+            prev_stage = stage_done
+        return float(prev_stage[-1])
+
+
+class _FastIced:
+    """Fast-engine strategy adapter for the ICED DVFS configuration.
+
+    Latencies are ``iterations * II * slowdown`` — products of
+    integers — so the numpy scan applies. The controller's exeTable
+    gets the window's exact busy sum (integer summation is
+    order-independent), making decisions identical to the scalar
+    engine's per-input accumulation.
+    """
+
+    vector_ok = True
+    strategy = "iced"
+
+    def __init__(self, partition: Partition, controller: DVFSController):
+        self.controller = controller
+        self._ii = {p.kernel.name: p.ii for p in partition.placements}
+
+    def level_name_of(self, name: str) -> str:
+        return self.controller.level_of(name).name
+
+    def latency_window(self, name: str, counts: np.ndarray) -> np.ndarray:
+        level = self.controller.level_of(name)
+        # float multiplier -> float64 latencies in one op; exact, since
+        # every operand and product is an integer below 2**53.
+        factor = float(self._ii[name] * max(level.slowdown, 1))
+        lat = counts * factor
+        self.controller.record_execution(name, float(lat.sum()))
+        return lat
+
+    def on_window_end(self) -> None:
+        self.controller.end_of_window()
+
+
+def _as_blocks(stream) -> Iterable[FeatureBlock]:
+    """Accept either a materialized ``StreamInput`` sequence or an
+    iterable of feature blocks."""
+    if isinstance(stream, (list, tuple)):
+        if not stream:
+            return iter(())
+        if isinstance(stream[0], StreamInput):
+            return blocks_of(stream)
+    return stream
+
+
 def simulate_stream(partition: Partition, inputs: list[StreamInput],
                     window: int = 10,
                     params: PowerParams = DEFAULT_POWER_PARAMS,
                     controller: DVFSController | None = None) -> StreamResult:
-    """Run the ICED configuration: fixed partition, dynamic DVFS."""
+    """Run the ICED configuration: fixed partition, dynamic DVFS
+    (scalar reference engine)."""
     sim = _PipelineSim(partition, params)
     controller = controller or DVFSController(
         dvfs=partition.cgra.dvfs,
@@ -246,3 +604,24 @@ def simulate_stream(partition: Partition, inputs: list[StreamInput],
         on_window_end=controller.end_of_window,
         strategy="iced",
     )
+
+
+def fast_simulate_stream(partition: Partition, stream, window: int = 10,
+                         params: PowerParams = DEFAULT_POWER_PARAMS,
+                         controller: DVFSController | None = None,
+                         keep_windows: bool = True) -> StreamResult:
+    """Run the ICED configuration on the fast engine.
+
+    ``stream`` is either an iterable of :class:`FeatureBlock` (the
+    constant-memory path) or a materialized ``StreamInput`` list (auto
+    chunked). Float-identical to :func:`simulate_stream`.
+    """
+    sim = FastPipelineSim(partition, params)
+    controller = controller or DVFSController(
+        dvfs=partition.cgra.dvfs,
+        kernel_names=[p.kernel.name for p in partition.placements],
+        window=window,
+    )
+    adapter = _FastIced(partition, controller)
+    return sim.run_blocks(_as_blocks(stream), window, adapter,
+                          keep_windows=keep_windows)

@@ -8,16 +8,85 @@ generators produce streams with matched size/sparsity statistics, which
 is all the experiment consumes: the bottleneck-shifting dynamics of
 Fig 13 are driven purely by the *variance of per-input kernel
 iteration counts* (DESIGN.md section 4).
+
+Both generators expose two shapes of the **same** stream:
+
+* :meth:`generate` — the whole stream as ``StreamInput`` objects
+  (what the scalar reference engine and small experiments use);
+* :meth:`feature_blocks` — the stream as lazily produced
+  :class:`~repro.streaming.stage.FeatureBlock` chunks, holding
+  O(block) memory regardless of stream length. A million-input run
+  never materializes a million objects.
+
+The two are value-identical input for input, for any block size —
+pinned by tests. For the ENZYMES stream the block path is genuinely
+vectorized: numpy fills broadcast-parameter draws in C order, one
+variate per element, so ``lognormal(mean=(a, b), ..., size=(n, 2))``
+consumes the bit stream exactly like the scalar loop's interleaved
+per-input draws. The sparse-matrix stream interleaves ``integers``
+(variable bit-stream consumption — Lemire rejection) with ``uniform``,
+which has no batched equivalent on the same stream; its blocks are
+produced by the scalar recurrence in chunks, still constant-memory.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.streaming.stage import StreamInput
+from repro.streaming.stage import (
+    DEFAULT_BLOCK_SIZE,
+    FeatureBlock,
+    StreamInput,
+    blocks_of,
+    inputs_of,
+)
 from repro.utils.rng import make_rng
+
+__all__ = [
+    "EnzymeGraphStream",
+    "SparseMatrixStream",
+    "blocks_of",
+    "inputs_of",
+    "skip_blocks",
+    "take_inputs",
+]
+
+
+def skip_blocks(blocks: Iterable[FeatureBlock],
+                count: int) -> Iterator[FeatureBlock]:
+    """Drop the first ``count`` inputs of a block stream (e.g. the
+    profiling prefix a partitioner already consumed)."""
+    remaining = count
+    for block in blocks:
+        if remaining <= 0:
+            yield block
+            continue
+        n = len(block)
+        if n <= remaining:
+            remaining -= n
+            continue
+        yield FeatureBlock(
+            {k: v[remaining:] for k, v in block.features.items()},
+            start_index=block.start_index + remaining,
+        )
+        remaining = 0
+
+
+def take_inputs(blocks: Iterable[FeatureBlock],
+                count: int) -> list[StreamInput]:
+    """Materialize the first ``count`` inputs of a block stream as
+    ``StreamInput`` objects (profiling prefixes), consuming only the
+    blocks it needs."""
+    taken: list[StreamInput] = []
+    for block in blocks:
+        for row in block.rows():
+            if len(taken) >= count:
+                return taken
+            taken.append(row)
+    return taken
 
 
 @dataclass
@@ -48,6 +117,34 @@ class EnzymeGraphStream:
             }))
         return inputs
 
+    def feature_blocks(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                       ) -> Iterator[FeatureBlock]:
+        """The same stream as :meth:`generate`, vectorized and lazy.
+
+        One broadcast lognormal draw per block: column 0 is the node
+        draw, column 1 the degree draw, filled in C order — the exact
+        interleaving the scalar loop consumes — so the values match
+        :meth:`generate` bit for bit at any block size.
+        """
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        rng = make_rng(self.seed)
+        start = 0
+        while start < self.num_graphs:
+            n = min(block_size, self.num_graphs - start)
+            draws = rng.lognormal(mean=(3.4, 3.3), sigma=(0.45, 0.55),
+                                  size=(n, 2))
+            n_nodes = np.clip(draws[:, 0], 3, 126).astype(np.int64)
+            degree = np.clip(draws[:, 1], 2, 126)
+            nnz = np.maximum(n_nodes, (n_nodes * degree).astype(np.int64))
+            yield FeatureBlock({
+                "n_nodes": n_nodes.astype(np.float64),
+                "degree": degree,
+                "nnz": nnz.astype(np.float64),
+                "features": np.full(n, 16.0),
+            }, start_index=start)
+            start += n
+
 
 @dataclass
 class SparseMatrixStream:
@@ -76,3 +173,33 @@ class SparseMatrixStream:
                 "nnz": float(nnz),
             }))
         return inputs
+
+    def feature_blocks(self, block_size: int = DEFAULT_BLOCK_SIZE,
+                       ) -> Iterator[FeatureBlock]:
+        """The same stream as :meth:`generate`, in O(block) memory.
+
+        The per-input draws interleave ``integers`` (variable bit-
+        stream consumption) with ``uniform``, so there is no batched
+        draw on the same stream; blocks run the scalar recurrence in
+        chunks instead — constant memory, identical values.
+        """
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        rng = make_rng(self.seed)
+        lo, hi = np.log(0.02), np.log(0.35)
+        start = 0
+        while start < self.num_matrices:
+            count = min(block_size, self.num_matrices - start)
+            ns = np.empty(count)
+            densities = np.empty(count)
+            nnzs = np.empty(count)
+            for j in range(count):
+                n = int(rng.integers(16, self.max_order + 1))
+                density = float(np.exp(rng.uniform(lo, hi)))
+                ns[j] = float(n)
+                densities[j] = density
+                nnzs[j] = float(max(n, int(n * n * density)))
+            yield FeatureBlock({
+                "n": ns, "density": densities, "nnz": nnzs,
+            }, start_index=start)
+            start += count

@@ -14,6 +14,14 @@ from repro.arch.cgra import CGRA
 from repro.arch.dvfs import DEFAULT_DVFS_CONFIG
 from repro.compile import SweepExecutor, SweepItem
 from repro.obs.sinks import CORE_CATEGORIES, SIM_PID, WALL_PID
+from repro.streaming import (
+    KernelStage,
+    StreamingApp,
+    StreamInput,
+    fast_simulate_stream,
+    simulate_stream,
+    streaming_cgra,
+)
 from repro.streaming.controller import DVFSController
 
 
@@ -239,6 +247,81 @@ class TestControllerEdgeCases:
         assert decision.attrs["bottleneck"] == "a"
         assert decision.attrs["busy_cycles"] == {"a": 900.0, "b": 100.0}
         assert decision.attrs["levels"]["b"] == "relax"
+
+
+class _StreamPlacement:
+    def __init__(self, kernel, ii):
+        self.kernel = kernel
+        self.island_ids = [0]
+        self.ii = ii
+
+    def tile_ids(self, cgra):
+        return [0, 1]
+
+
+class _StreamPartition:
+    def __init__(self, app, placements):
+        self.app = app
+        self.cgra = streaming_cgra()
+        self.placements = placements
+        self._by_name = {p.kernel.name: p for p in placements}
+
+    def placement_of(self, name):
+        return self._by_name[name]
+
+
+def _tiny_partition():
+    kernel = KernelStage(
+        name="k0",
+        dfg=None,
+        iteration_model=lambda item: 2 * item.get("x"),
+    )
+    app = StreamingApp(name="tiny", stages=[[kernel]])
+    return _StreamPartition(app, [_StreamPlacement(kernel, ii=2)])
+
+
+class TestStreamingMetrics:
+    """Satellite: ``streaming.inputs_per_sec`` gauge and the per-window
+    ``streaming.decision_latency_ms`` histogram, on both engines."""
+
+    def _run(self, simulate, registry):
+        partition = _tiny_partition()
+        inputs = [
+            StreamInput(index=i, features={"x": float(3 + i % 5)})
+            for i in range(25)
+        ]
+        result = simulate(partition, inputs, window=5)
+        return result, registry.snapshot()
+
+    def test_reference_engine_reports_throughput(self, registry):
+        result, snap = self._run(simulate_stream, registry)
+        assert len(result.windows) == 5
+        assert snap["streaming.inputs_per_sec"]["value"] > 0
+        assert snap["streaming.inputs"]["value"] == 25.0
+        hist = snap["streaming.decision_latency_ms"]
+        assert hist["count"] == len(result.windows)
+        assert hist["sum"] >= 0.0
+
+    def test_fast_engine_reports_throughput(self, registry):
+        result, snap = self._run(fast_simulate_stream, registry)
+        assert len(result.windows) == 5
+        assert snap["streaming.inputs_per_sec"]["value"] > 0
+        assert snap["streaming.windows"]["value"] == 5.0
+        hist = snap["streaming.decision_latency_ms"]
+        assert hist["count"] == len(result.windows)
+
+    def test_engines_observe_same_window_count(self, registry):
+        _, reference = self._run(simulate_stream, registry)
+        fresh = obs.MetricsRegistry()
+        previous = obs.set_metrics(fresh)
+        try:
+            _, fast = self._run(fast_simulate_stream, fresh)
+        finally:
+            obs.set_metrics(previous)
+        assert (
+            reference["streaming.decision_latency_ms"]["count"]
+            == fast["streaming.decision_latency_ms"]["count"]
+        )
 
 
 class TestParallelTraceMerge:

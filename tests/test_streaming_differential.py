@@ -1,0 +1,172 @@
+"""Property-based differential suite: fast engine vs scalar reference.
+
+Mirrors how the router rewrite was pinned: hypothesis draws random
+pipeline apps (stage shapes, iteration models, IIs, island counts),
+random integer-feature streams, random windows and block sizes, and
+asserts the fast engine's ``StreamResult`` — including every
+``WindowStats`` field — and the ICED controller's decision log are
+**equal** (``==``, not approximately) to the scalar reference's, for
+all three strategies.
+
+The apps use lightweight fake partitions (the engines only consume
+``app``/``cgra``/``placements``/``placement_of``/``ii_table``), so the
+suite explores far more shapes than the two real applications without
+paying for mapping. Iteration models mix dual-use feature arithmetic
+(vectorizes as itself) and scalar-only models (row-by-row fallback),
+covering both paths of ``KernelStage.iterations_block``.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.streaming import (  # noqa: E402
+    DVFSController,
+    KernelStage,
+    StreamInput,
+    StreamingApp,
+    blocks_of,
+    fast_simulate_drips,
+    fast_simulate_static,
+    fast_simulate_stream,
+    simulate_drips,
+    simulate_static,
+    simulate_stream,
+    streaming_cgra,
+)
+from repro.streaming.engine import _VECTOR_WINDOW_MIN  # noqa: E402
+
+CGRA = streaming_cgra()
+
+
+class FakePlacement:
+    def __init__(self, kernel, islands: int, ii: int):
+        self.kernel = kernel
+        self.island_ids = list(range(islands))
+        self.ii = ii
+        self._tiles = 2 * islands
+
+    def tile_ids(self, cgra):
+        return list(range(self._tiles))
+
+
+class FakePartition:
+    def __init__(self, app, placements, ii_table):
+        self.app = app
+        self.cgra = CGRA
+        self.placements = placements
+        self.ii_table = ii_table
+        self._by_name = {p.kernel.name: p for p in placements}
+
+    def placement_of(self, name):
+        return self._by_name[name]
+
+
+def _dual_model(scale, offset):
+    # Pure feature arithmetic: exact on scalars and on numpy columns,
+    # so it serves as its own batch model.
+    return lambda item: scale * item.get("x") + offset
+
+
+def _scalar_only_model(scale):
+    # Not expressible as exact column arithmetic (libm pow) — forces
+    # the row-by-row fallback in iterations_block.
+    return lambda item: item.get("x") ** 1.2 * scale
+
+
+@st.composite
+def scenarios(draw):
+    num_stages = draw(st.integers(min_value=1, max_value=4))
+    stages = []
+    placements = []
+    ii_table = {}
+    kernel_id = 0
+    for _ in range(num_stages):
+        width = draw(st.integers(min_value=1, max_value=2))
+        stage = []
+        for _ in range(width):
+            name = f"k{kernel_id}"
+            kernel_id += 1
+            scale = draw(st.sampled_from([1, 2, 3, 0.5, 1.5]))
+            dual = draw(st.booleans())
+            if dual:
+                offset = draw(st.integers(min_value=0, max_value=16))
+                model = _dual_model(scale, offset)
+                kernel = KernelStage(name=name, dfg=None,
+                                     iteration_model=model,
+                                     batch_model=model)
+            else:
+                kernel = KernelStage(name=name, dfg=None,
+                                     iteration_model=_scalar_only_model(
+                                         scale))
+            stage.append(kernel)
+            ii = draw(st.integers(min_value=1, max_value=8))
+            islands = draw(st.integers(min_value=1, max_value=2))
+            placements.append(FakePlacement(kernel, islands, ii))
+            for k in (1, 2, 3):
+                ii_table[(name, k)] = max(1, ii + 1 - k)
+        stages.append(stage)
+    app = StreamingApp(name="fake", stages=stages)
+    partition = FakePartition(app, placements, ii_table)
+
+    num_inputs = draw(st.integers(min_value=0, max_value=90))
+    xs = draw(st.lists(st.integers(min_value=1, max_value=10**6),
+                       min_size=num_inputs, max_size=num_inputs))
+    inputs = [StreamInput(i, {"x": float(x)}) for i, x in enumerate(xs)]
+    window = draw(st.sampled_from(
+        [1, 2, 3, 7, 10, _VECTOR_WINDOW_MIN, 40]))
+    block_size = draw(st.sampled_from([1, 2, 5, 13, 8192]))
+    return partition, inputs, window, block_size
+
+
+COMMON = dict(deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(max_examples=40, **COMMON)
+@given(scenarios())
+def test_iced_differential(scenario):
+    partition, inputs, window, block_size = scenario
+    names = [p.kernel.name for p in partition.placements]
+    ref_ctl = DVFSController(dvfs=CGRA.dvfs, kernel_names=names,
+                             window=window)
+    fast_ctl = DVFSController(dvfs=CGRA.dvfs, kernel_names=names,
+                              window=window)
+    ref = simulate_stream(partition, inputs, window=window,
+                          controller=ref_ctl)
+    fast = fast_simulate_stream(partition,
+                                blocks_of(inputs, block_size)
+                                if inputs else [],
+                                window=window, controller=fast_ctl)
+    assert asdict(ref) == asdict(fast)
+    assert ref_ctl.decisions == fast_ctl.decisions
+    assert ref_ctl.levels == fast_ctl.levels
+    assert ref_ctl.exe_table == fast_ctl.exe_table
+
+
+@settings(max_examples=30, **COMMON)
+@given(scenarios())
+def test_drips_differential(scenario):
+    partition, inputs, window, block_size = scenario
+    ref = simulate_drips(partition, inputs, window=window)
+    fast = fast_simulate_drips(partition,
+                               blocks_of(inputs, block_size)
+                               if inputs else [],
+                               window=window)
+    assert asdict(ref) == asdict(fast)
+
+
+@settings(max_examples=25, **COMMON)
+@given(scenarios())
+def test_static_differential(scenario):
+    partition, inputs, window, block_size = scenario
+    ref = simulate_static(partition, inputs, window=window)
+    fast = fast_simulate_static(partition,
+                                blocks_of(inputs, block_size)
+                                if inputs else [],
+                                window=window)
+    assert asdict(ref) == asdict(fast)

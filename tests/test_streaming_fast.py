@@ -1,0 +1,290 @@
+"""Fast streaming engine: blocks, chunked workloads, and equality with
+the scalar reference on the real applications.
+
+The property-based differential suite lives in
+``test_streaming_differential.py``; these are the deterministic unit
+tests — feature blocks, the window re-chunker, the satellite
+regression fixes (duplicated input object, derived frequency), and
+fast-vs-reference equality on the gcn/lu partitions the module fixture
+builds.
+"""
+
+from dataclasses import MISSING, asdict
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    DVFSController,
+    EnzymeGraphStream,
+    FeatureBlock,
+    SparseMatrixStream,
+    StreamInput,
+    blocks_of,
+    fast_simulate_drips,
+    fast_simulate_static,
+    fast_simulate_stream,
+    gcn_app,
+    inputs_of,
+    partition_app,
+    simulate_drips,
+    simulate_static,
+    simulate_stream,
+    skip_blocks,
+    streaming_cgra,
+    take_inputs,
+)
+from repro.streaming.engine import (
+    StreamResult,
+    WindowStats,
+    _maxplus_scan_array,
+    _maxplus_scan_list,
+    _window_iteration_chunks,
+)
+
+
+@pytest.fixture(scope="module")
+def fabric():
+    return streaming_cgra()
+
+
+@pytest.fixture(scope="module")
+def gcn_inputs():
+    return EnzymeGraphStream(num_graphs=60, seed=3).generate()
+
+
+@pytest.fixture(scope="module")
+def gcn_partition(fabric, gcn_inputs):
+    return partition_app(gcn_app(), fabric, gcn_inputs[:20])
+
+
+class TestFeatureBlocks:
+    def test_roundtrip(self, gcn_inputs):
+        for block_size in (1, 7, 60, 8192):
+            back = inputs_of(blocks_of(gcn_inputs, block_size))
+            assert [i.features for i in back] == [
+                i.features for i in gcn_inputs
+            ]
+            assert [i.index for i in back] == [i.index for i in gcn_inputs]
+
+    def test_get_returns_column(self, gcn_inputs):
+        block = next(blocks_of(gcn_inputs, 10))
+        col = block.get("nnz")
+        assert isinstance(col, np.ndarray)
+        assert col.tolist() == [i.get("nnz") for i in gcn_inputs[:10]]
+
+    def test_row_materializes_stream_input(self, gcn_inputs):
+        block = next(blocks_of(gcn_inputs, 10))
+        row = block.row(3)
+        assert isinstance(row, StreamInput)
+        assert row.index == gcn_inputs[3].index
+        assert row.features == gcn_inputs[3].features
+
+    def test_ragged_block_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            FeatureBlock({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_bad_block_size_rejected(self, gcn_inputs):
+        with pytest.raises(ValueError):
+            next(blocks_of(gcn_inputs, 0))
+
+    def test_skip_blocks_splits_mid_block(self, gcn_inputs):
+        blocks = list(blocks_of(gcn_inputs, 8))
+        skipped = inputs_of(skip_blocks(iter(blocks), 13))
+        assert [i.index for i in skipped] == [
+            i.index for i in gcn_inputs[13:]
+        ]
+
+    def test_take_inputs_prefix(self, gcn_inputs):
+        taken = take_inputs(blocks_of(gcn_inputs, 8), 13)
+        assert [i.features for i in taken] == [
+            i.features for i in gcn_inputs[:13]
+        ]
+
+
+class TestChunkedWorkloads:
+    @pytest.mark.parametrize("stream_cls,count", [
+        (EnzymeGraphStream, "num_graphs"),
+        (SparseMatrixStream, "num_matrices"),
+    ])
+    def test_feature_blocks_match_generate(self, stream_cls, count):
+        stream = stream_cls(**{count: 157}, seed=9)
+        reference = stream.generate()
+        for block_size in (1, 13, 157, 8192):
+            chunked = inputs_of(stream.feature_blocks(block_size))
+            assert [i.index for i in chunked] == [
+                i.index for i in reference
+            ]
+            assert [i.features for i in chunked] == [
+                i.features for i in reference
+            ]
+
+    def test_feature_blocks_deterministic(self):
+        a = inputs_of(EnzymeGraphStream(num_graphs=50, seed=4)
+                      .feature_blocks(16))
+        b = inputs_of(EnzymeGraphStream(num_graphs=50, seed=4)
+                      .feature_blocks(32))
+        assert [i.features for i in a] == [i.features for i in b]
+
+    def test_block_statistics_envelope(self):
+        blocks = list(EnzymeGraphStream(num_graphs=300, seed=1)
+                      .feature_blocks(64))
+        nodes = np.concatenate([b.get("n_nodes") for b in blocks])
+        degrees = np.concatenate([b.get("degree") for b in blocks])
+        assert nodes.min() >= 3 and nodes.max() <= 126
+        assert degrees.min() >= 2 and degrees.max() <= 126
+        assert 20 <= degrees.mean() <= 50  # published mean 32.6
+
+    def test_sparse_blocks_envelope(self):
+        blocks = list(SparseMatrixStream(num_matrices=120, seed=2)
+                      .feature_blocks(32))
+        for block in blocks:
+            n = block.get("n")
+            assert n.min() >= 16 and n.max() <= 100
+            assert (block.get("nnz") >= n).all()
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            next(EnzymeGraphStream().feature_blocks(0))
+        with pytest.raises(ValueError):
+            next(SparseMatrixStream().feature_blocks(-3))
+
+
+class TestWindowChunker:
+    def _kernels(self):
+        app = gcn_app()
+        return app.all_kernels()
+
+    def test_rechunks_across_block_boundaries(self, gcn_inputs):
+        kernels = self._kernels()
+        for block_size in (1, 4, 7, 100):
+            for window in (1, 3, 10, 60, 90):
+                chunks = list(_window_iteration_chunks(
+                    blocks_of(gcn_inputs, block_size), kernels, window))
+                sizes = [n for _, n in chunks]
+                assert sum(sizes) == len(gcn_inputs)
+                assert all(n == window for n in sizes[:-1])
+                assert 0 < sizes[-1] <= window
+                whole = {
+                    k.name: np.concatenate([c[k.name] for c, _ in chunks])
+                    for k in kernels
+                }
+                for kernel in kernels:
+                    expected = [kernel.iterations(i) for i in gcn_inputs]
+                    assert whole[kernel.name].tolist() == expected
+
+
+class TestMaxPlusScan:
+    def test_scan_matches_sequential(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 17, 256):
+            s = rng.integers(0, 10**9, n).astype(np.float64)
+            lat = rng.integers(1, 10**6, n).astype(np.float64)
+            carry = float(rng.integers(0, 10**9))
+            seq = _maxplus_scan_list(s.tolist(), carry, lat.tolist())
+            vec = _maxplus_scan_array(s, carry, lat)
+            assert vec.tolist() == seq  # bit-identical, not approx
+
+
+class TestFastEngineEquality:
+    @pytest.mark.parametrize("window", [1, 3, 10, 24, 37, 60, 500])
+    def test_iced_identical(self, gcn_partition, gcn_inputs, window):
+        names = [p.kernel.name for p in gcn_partition.placements]
+        ref_ctl = DVFSController(dvfs=gcn_partition.cgra.dvfs,
+                                 kernel_names=names, window=window)
+        fast_ctl = DVFSController(dvfs=gcn_partition.cgra.dvfs,
+                                  kernel_names=names, window=window)
+        ref = simulate_stream(gcn_partition, gcn_inputs, window=window,
+                              controller=ref_ctl)
+        fast = fast_simulate_stream(gcn_partition, gcn_inputs,
+                                    window=window, controller=fast_ctl)
+        assert asdict(ref) == asdict(fast)
+        assert ref_ctl.decisions == fast_ctl.decisions
+
+    @pytest.mark.parametrize("window", [1, 5, 10, 30, 60])
+    def test_drips_identical(self, gcn_partition, gcn_inputs, window):
+        ref = simulate_drips(gcn_partition, gcn_inputs, window=window)
+        fast = fast_simulate_drips(gcn_partition, gcn_inputs,
+                                   window=window)
+        assert asdict(ref) == asdict(fast)
+
+    @pytest.mark.parametrize("window", [1, 10, 60])
+    def test_static_identical(self, gcn_partition, gcn_inputs, window):
+        ref = simulate_static(gcn_partition, gcn_inputs, window=window)
+        fast = fast_simulate_static(gcn_partition, gcn_inputs,
+                                    window=window)
+        assert asdict(ref) == asdict(fast)
+
+    def test_block_size_invariance(self, gcn_partition, gcn_inputs):
+        baseline = fast_simulate_stream(gcn_partition, gcn_inputs,
+                                        window=10)
+        for block_size in (1, 9, 17):
+            result = fast_simulate_stream(
+                gcn_partition, blocks_of(gcn_inputs, block_size),
+                window=10)
+            assert asdict(result) == asdict(baseline)
+
+    def test_keep_windows_false_same_totals(self, gcn_partition,
+                                            gcn_inputs):
+        full = fast_simulate_stream(gcn_partition, gcn_inputs, window=10)
+        slim = fast_simulate_stream(gcn_partition, gcn_inputs, window=10,
+                                    keep_windows=False)
+        assert slim.windows == []
+        assert slim.makespan_cycles == full.makespan_cycles
+        assert slim.total_energy_uj == full.total_energy_uj
+        assert slim.inputs == full.inputs
+
+    def test_record_decisions_off_same_levels(self, gcn_partition,
+                                              gcn_inputs):
+        names = [p.kernel.name for p in gcn_partition.placements]
+        on = DVFSController(dvfs=gcn_partition.cgra.dvfs,
+                            kernel_names=names, window=10)
+        off = DVFSController(dvfs=gcn_partition.cgra.dvfs,
+                             kernel_names=names, window=10,
+                             record_decisions=False)
+        a = fast_simulate_stream(gcn_partition, gcn_inputs, window=10,
+                                 controller=on)
+        b = fast_simulate_stream(gcn_partition, gcn_inputs, window=10,
+                                 controller=off)
+        assert asdict(a) == asdict(b)
+        assert off.decisions == []
+        assert off.num_decisions == on.num_decisions == len(on.decisions)
+
+    def test_empty_stream(self, gcn_partition):
+        result = fast_simulate_stream(gcn_partition, [], window=10)
+        assert result.inputs == 0
+        assert result.windows == []
+        assert result.makespan_cycles == 0.0
+
+    def test_bad_window_rejected(self, gcn_partition, gcn_inputs):
+        with pytest.raises(ValueError):
+            fast_simulate_stream(gcn_partition, gcn_inputs, window=0)
+
+
+class TestSatelliteRegressions:
+    def test_duplicated_input_object_does_not_close_window_early(
+            self, gcn_partition, gcn_inputs):
+        # The old window-close check compared object identity against
+        # inputs[-1]; an input object appearing twice (here: at
+        # position 3 and at the end) closed the window at position 3.
+        items = gcn_inputs[:10]
+        duplicate = items[-1]
+        stream = items[:3] + [duplicate] + items[3:]
+        result = simulate_stream(gcn_partition, stream, window=50)
+        assert len(result.windows) == 1
+        assert result.windows[0].inputs == len(stream)
+        fast = fast_simulate_stream(gcn_partition, stream, window=50)
+        assert asdict(fast) == asdict(result)
+
+    def test_frequency_has_no_hardcoded_default(self):
+        assert WindowStats.__dataclass_fields__[
+            "frequency_mhz"].default is MISSING
+        assert StreamResult.__dataclass_fields__[
+            "frequency_mhz"].default is MISSING
+
+    def test_frequency_derived_from_fabric(self, gcn_partition,
+                                           gcn_inputs):
+        base = gcn_partition.cgra.dvfs.normal.frequency_mhz
+        result = simulate_stream(gcn_partition, gcn_inputs[:10], window=5)
+        assert result.frequency_mhz == base
+        assert all(w.frequency_mhz == base for w in result.windows)

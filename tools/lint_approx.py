@@ -24,11 +24,16 @@ Usage::
 from __future__ import annotations
 
 import ast
+import re
 import sys
 from pathlib import Path
 
 #: Mirrors [tool.ruff.lint.per-file-ignores] in pyproject.toml.
 PER_FILE_IGNORES = {"benchmarks/": ("E402",)}
+
+#: ``# noqa`` (blanket) or ``# noqa: E402, F401`` (specific codes),
+#: matching ruff's suppression comments.
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 
 
 class _Names(ast.NodeVisitor):
@@ -100,9 +105,26 @@ def check_file(path: Path) -> list[str]:
     source = path.read_text(encoding="utf-8")
     problems: list[str] = []
 
+    # Per-line suppressions. A regex over raw lines can in principle
+    # match a "# noqa" inside a string literal; like the rest of this
+    # approximation, over-suppressing is preferred to false findings.
+    noqa: dict[int, set[str] | None] = {}
+    for num, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA.search(line)
+        if match:
+            codes = match.group("codes")
+            noqa[num] = (
+                {c.strip().upper() for c in codes.split(",") if c.strip()}
+                if codes else None  # None == blanket "# noqa"
+            )
+
     def report(lineno: int, code: str, message: str) -> None:
-        if code not in ignored:
-            problems.append(f"{rel}:{lineno}: {code} {message}")
+        if code in ignored:
+            return
+        suppressed = noqa.get(lineno, ())
+        if suppressed is None or code in suppressed:
+            return
+        problems.append(f"{rel}:{lineno}: {code} {message}")
 
     try:
         tree = ast.parse(source, filename=rel)
