@@ -35,7 +35,16 @@ Asserted invariants:
   ``candidates_pruned`` > 0);
 * with ``--baseline FILE``, this run's cold serial wall-clock has not
   regressed more than ``--max-regression`` against the committed
-  ``BENCH_compile.json`` (the CI perf gate).
+  ``BENCH_compile.json`` (the CI perf gate);
+* **portfolio** — racing the registered backends on a few small
+  kernels never loses to the best individual member, and the winner
+  mapping / score board are bit-identical across ``--jobs 1`` and
+  ``--jobs 2`` (the portfolio determinism contract).
+
+``--exact-smoke`` runs only the exact-backend proof check instead: the
+branch-and-bound backend must *prove* the optimal II on each small
+kernel inside a hard wall-clock budget. CI runs it as a separate,
+label-skippable job.
 
 Per-pass timings, per-kernel details and cache statistics are written
 to ``BENCH_compile.json`` so compile-time regressions show up as
@@ -76,6 +85,110 @@ MIN_WARM_SPEEDUP = 5.0
 MIN_PARALLEL_SPEEDUP = 2.0
 MIN_HOT_PATH_SPEEDUP = 2.0
 STRATEGY = "iced"
+
+#: Small kernels the exact backend proves optimal fast (engine warm
+#: start sits on the lower bound, so the proof needs zero probes).
+EXACT_KERNELS = ("combrelu", "conv", "gemm", "invert", "relu")
+PORTFOLIO_KERNELS = ("conv", "relu")
+PORTFOLIO_MEMBERS = ("engine", "anneal", "exact")
+#: Probe cap for smoke-sized exact searches (seconds, not minutes).
+EXACT_SMOKE_PROBES = 20_000
+
+
+def _portfolio_fingerprint(report) -> dict:
+    """The jobs-independent identity of one portfolio outcome."""
+    return {
+        "winner_backend": report.winner_backend,
+        "winner_mapping": json.dumps(report.winner.mapping.to_dict(),
+                                     sort_keys=True,
+                                     separators=(",", ":")),
+        "optimality_gap": report.optimality_gap,
+        "proven_optimal": report.proven_optimal,
+        "entries": [
+            # Cancellation timing is the one jobs-dependent freedom.
+            {"backend": e.backend, "ii": e.ii, "cost": e.cost,
+             "optimal": e.optimal}
+            for e in report.entries if not e.cancelled
+        ],
+    }
+
+
+def run_portfolio_section(cgra: CGRA) -> dict:
+    """Race the backends per kernel at --jobs 1 and 2; compare."""
+    from repro.compile import MappingCache, compile_portfolio
+
+    options = {"exact": {"max_probes": EXACT_SMOKE_PROBES}}
+    section: dict = {"kernels": {}, "ok": True}
+    for name in PORTFOLIO_KERNELS:
+        runs = {}
+        for jobs in (1, 2):
+            report = compile_portfolio(
+                name, cgra, STRATEGY, members=PORTFOLIO_MEMBERS,
+                member_options=options, jobs=jobs,
+                cache=MappingCache(),
+            )
+            runs[jobs] = (report, _portfolio_fingerprint(report))
+        report, fp = runs[1]
+        member_iis = [e.ii for e in report.entries if e.ii is not None]
+        never_worse = report.winner.report.ii <= min(member_iis)
+        reproducible = fp == runs[2][1]
+        section["kernels"][name] = {
+            **fp,
+            "winner_ii": report.winner.report.ii,
+            "best_member_ii": min(member_iis),
+            "never_worse": never_worse,
+            "jobs_reproducible": reproducible,
+        }
+        section["ok"] = section["ok"] and never_worse and reproducible
+    return section
+
+
+def run_exact_smoke(size: int, budget_s: float, out: str) -> int:
+    """Exact-backend proof check under a hard wall-clock budget."""
+    from repro.compile import MappingCache, compile_kernel
+
+    cgra = CGRA.build(size, size)
+    rows = {}
+    start = time.perf_counter()
+    for name in EXACT_KERNELS:
+        t0 = time.perf_counter()
+        result = compile_kernel(
+            name, cgra, STRATEGY, backend="exact",
+            backend_options={"max_probes": EXACT_SMOKE_PROBES,
+                             "budget_s": budget_s},
+            cache=MappingCache(),
+        )
+        stats = result.backend_stats or {}
+        rows[name] = {
+            "ii": result.report.ii,
+            "proved_optimal": bool(result.optimal),
+            "probes": int(stats.get("probes", 0)),
+            "wall_s": round(time.perf_counter() - t0, 3),
+        }
+    total_s = time.perf_counter() - start
+    payload = {
+        "fabric": f"{size}x{size}",
+        "budget_s": budget_s,
+        "total_s": round(total_s, 3),
+        "kernels": rows,
+    }
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    for name, row in rows.items():
+        print(f"{name:<10} II={row['ii']} proved={row['proved_optimal']}"
+              f" probes={row['probes']} {row['wall_s']:.2f}s")
+    unproved = [n for n, r in rows.items() if not r["proved_optimal"]]
+    if unproved:
+        print(f"FAIL: exact backend left {unproved} unproved",
+              file=sys.stderr)
+        return 1
+    if total_s > budget_s:
+        print(f"FAIL: exact smoke took {total_s:.1f}s "
+              f"(budget {budget_s:.0f}s)", file=sys.stderr)
+        return 1
+    print(f"exact smoke: {len(rows)} kernels proved optimal in "
+          f"{total_s:.1f}s (budget {budget_s:.0f}s) -> {out}")
+    return 0
 
 
 def _effective_cores(jobs: int) -> int:
@@ -161,7 +274,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a Chrome trace of the cold parallel "
                              "sweep (worker spans adopted into one "
                              "timeline)")
+    parser.add_argument("--exact-smoke", action="store_true",
+                        help="run only the exact-backend proof check "
+                             "(small kernels, hard wall-clock budget)")
+    parser.add_argument("--budget-s", type=float, default=120.0,
+                        help="exact smoke: hard wall-clock budget for "
+                             "the whole kernel set")
     args = parser.parse_args(argv)
+    if args.exact_smoke:
+        out = (args.out if args.out != "BENCH_compile.json"
+               else "BENCH_exact.json")
+        return run_exact_smoke(args.size, args.budget_s, out)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     jobs = max(2, jobs)  # the parallel phase must actually fan out
     effective = _effective_cores(jobs)
@@ -211,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
                                Instrumentation(), STANDALONE_KERNELS, cgra)
         reference2 = run_reference_sweep(os.path.join(tmp, "ref2"),
                                          STANDALONE_KERNELS, cgra)
+        portfolio_section = run_portfolio_section(cgra)
 
     warm_speedup = cold["wall_s"] / max(warm["wall_s"], 1e-9)
     parallel_speedup = cold["wall_s"] / max(parallel["wall_s"], 1e-9)
@@ -260,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
         "cold": cold["kernels"],
         "parallel": parallel["kernels"],
         "warm": warm["kernels"],
+        "portfolio": portfolio_section,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -304,6 +429,16 @@ def main(argv: list[str] | None = None) -> int:
     if hot_path_speedup < MIN_HOT_PATH_SPEEDUP:
         print(f"FAIL: hot path only {hot_path_speedup:.2f}x faster than "
               f"the reference router (need >= {MIN_HOT_PATH_SPEEDUP}x)",
+              file=sys.stderr)
+        return 1
+    for name, row in portfolio_section["kernels"].items():
+        print(f"portfolio {name}: winner={row['winner_backend']} "
+              f"II={row['winner_ii']} (best member {row['best_member_ii']}"
+              f"), reproducible across jobs={row['jobs_reproducible']}")
+    if not portfolio_section["ok"]:
+        bad = [n for n, r in portfolio_section["kernels"].items()
+               if not (r["never_worse"] and r["jobs_reproducible"])]
+        print(f"FAIL: portfolio section violated its contract on {bad}",
               file=sys.stderr)
         return 1
     if memo_hits <= 0 or pruned <= 0:

@@ -10,6 +10,9 @@ Usage::
     python -m repro experiments fig9 --jobs 4     # same as -m repro.experiments
     python -m repro profile fir --strategy iced   # cProfile one cold compile
     python -m repro cache stats                   # on-disk mapping cache
+    python -m repro backends list                 # registered mapper backends
+    python -m repro map fir --backend exact       # provably optimal II
+    python -m repro map fir --portfolio --jobs 3  # race the backends
 """
 
 from __future__ import annotations
@@ -22,11 +25,19 @@ from repro import obs
 from repro.arch.cgra import CGRA
 from repro.compile import (
     Instrumentation,
+    MappingCache,
     compile_kernel,
+    compile_portfolio,
     get_cache,
     render_report,
 )
 from repro.kernels.suite import kernel_names
+from repro.mapper.backends import (
+    DEFAULT_PORTFOLIO,
+    backend_names,
+    describe_backends,
+    strategy_choices,
+)
 from repro.kernels.table1 import TABLE1_SPECS
 from repro.power.model import mapping_power
 from repro.sim.utilization import average_dvfs_fraction, utilization_stats
@@ -83,16 +94,52 @@ def cmd_fabric(args) -> int:
     return 0
 
 
+def _single_backend_options(args) -> dict:
+    options: dict = {}
+    if args.budget_s is not None and args.backend == "exact":
+        options["budget_s"] = args.budget_s
+    return options
+
+
 def cmd_map(args) -> int:
     cgra = _build_fabric(args)
     shows = set(args.show.split(",")) if args.show else set()
     instrument = Instrumentation()
     with _tracing(args.trace):
-        result = compile_kernel(
-            args.kernel, cgra, args.strategy, unroll=args.unroll,
-            use_cache=not args.no_cache, instrument=instrument,
-            want_bitstream="bitstream" in shows,
-        )
+        if args.portfolio:
+            members = tuple(m for m in args.members.split(",") if m)
+            portfolio = compile_portfolio(
+                args.kernel, cgra, args.strategy, unroll=args.unroll,
+                members=members, budget_s=args.budget_s, jobs=args.jobs,
+                cache=MappingCache() if args.no_cache else None,
+                instrument=instrument,
+            )
+            result = portfolio.winner
+            print(f"portfolio: winner={portfolio.winner_backend}"
+                  f" proven_optimal={portfolio.proven_optimal}"
+                  + (f" gap={portfolio.optimality_gap}"
+                     if portfolio.optimality_gap is not None else ""))
+            for entry in portfolio.entries:
+                if entry.cancelled:
+                    line = "cancelled"
+                elif entry.error:
+                    line = f"failed: {entry.error}"
+                else:
+                    line = (f"II={entry.ii} cost={entry.cost:.0f}"
+                            + (" (proved optimal)" if entry.optimal
+                               else ""))
+                print(f"  {entry.backend:<12}{line}")
+        else:
+            result = compile_kernel(
+                args.kernel, cgra, args.strategy, unroll=args.unroll,
+                backend=args.backend,
+                backend_options=_single_backend_options(args),
+                use_cache=not args.no_cache, instrument=instrument,
+                want_bitstream="bitstream" in shows,
+            )
+            if args.backend != "engine":
+                print(f"backend: {args.backend}"
+                      + (" (proved optimal)" if result.optimal else ""))
     mapping, report = result.mapping, result.report
     print(mapping.summary())
 
@@ -118,8 +165,11 @@ def cmd_map(args) -> int:
               f"{average_dvfs_fraction(mapping):.2f}, power "
               f"{power.total_mw:.1f} mW")
     if "bitstream" in shows:
+        from repro.mapper import generate_bitstream
+
         print()
-        print(result.bitstream.to_json(indent=2))
+        bitstream = result.bitstream or generate_bitstream(mapping)
+        print(bitstream.to_json(indent=2))
     if args.stats:
         print()
         print(render_report(instrument.events, get_cache().stats_dict()))
@@ -311,23 +361,44 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_backends(args) -> int:
+    """List the registered mapper backends."""
+    rows = describe_backends()
+    width = max(len(row["name"]) for row in rows)
+    print(f"{'backend':<{width + 2}}{'optimal?':<10}description")
+    for row in rows:
+        proves = "proves" if row["proves_optimality"] else "-"
+        print(f"{row['name']:<{width + 2}}{proves:<10}"
+              f"{row['summary']}")
+    return 0
+
+
 def cmd_profile(args) -> int:
-    """One cold compile under cProfile: where does the time go?"""
+    """One compile under cProfile: where does the time go?
+
+    Accepts the same ``--backend``/``--strategy`` flags as ``map``;
+    by default the compile is cold (``--no-cache`` implied) since a
+    warm hit profiles only deserialization — pass ``--cached`` to
+    profile the warm path instead.
+    """
     import cProfile
     import io
     import pstats
 
     cgra = _build_fabric(args)
+    use_cache = args.cached and not args.no_cache
     profiler = cProfile.Profile()
     profiler.enable()
     result = compile_kernel(args.kernel, cgra, strategy=args.strategy,
-                            unroll=args.unroll, use_cache=False)
+                            backend=args.backend,
+                            backend_options=_single_backend_options(args),
+                            unroll=args.unroll, use_cache=use_cache)
     profiler.disable()
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("cumulative").print_stats(args.top)
-    print(f"{args.kernel} ({args.strategy}) on {cgra.name}: "
-          f"II={result.mapping.ii}")
+    print(f"{args.kernel} ({args.strategy}, backend={args.backend}) "
+          f"on {cgra.name}: II={result.mapping.ii}")
     print(stream.getvalue())
     return 0
 
@@ -351,7 +422,23 @@ def main(argv: list[str] | None = None) -> int:
     map_cmd.add_argument("--cgra", default="6x6")
     map_cmd.add_argument("--island", default="2x2")
     map_cmd.add_argument("--strategy", default="iced",
-                         choices=("baseline", "per_tile", "iced"))
+                         choices=strategy_choices())
+    map_cmd.add_argument("--backend", default="engine",
+                         choices=backend_names(),
+                         help="mapper backend (see `repro backends "
+                              "list`)")
+    map_cmd.add_argument("--portfolio", action="store_true",
+                         help="race several backends and keep the best "
+                              "mapping (ignores --backend)")
+    map_cmd.add_argument("--members",
+                         default=",".join(DEFAULT_PORTFOLIO),
+                         help="portfolio members, comma list in "
+                              "precedence order")
+    map_cmd.add_argument("--budget-s", type=float, default=None,
+                         help="wall-clock budget for proof-capable "
+                              "backends")
+    map_cmd.add_argument("--jobs", type=int, default=1,
+                         help="processes for the portfolio race")
     map_cmd.add_argument(
         "--show", default="",
         help="comma list: levels,schedule,heatmap,dfg,power,bitstream",
@@ -397,7 +484,7 @@ def main(argv: list[str] | None = None) -> int:
     trace_cmd.add_argument("-o", "--out", default="trace.json",
                            help="output path (.jsonl for JSONL)")
     trace_cmd.add_argument("--strategy", default="iced",
-                           choices=("baseline", "per_tile", "iced"))
+                           choices=strategy_choices())
     trace_cmd.add_argument("--unroll", type=int, default=1)
     trace_cmd.add_argument("--cgra", default="6x6")
     trace_cmd.add_argument("--island", default="2x2")
@@ -425,13 +512,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     profile.add_argument("kernel", choices=kernel_names())
     profile.add_argument("--strategy", default="iced",
-                         choices=("baseline", "baseline+gating",
-                                  "per_tile_dvfs", "iced", "anneal"))
+                         choices=strategy_choices())
+    profile.add_argument("--backend", default="engine",
+                         choices=backend_names(),
+                         help="mapper backend to profile")
+    profile.add_argument("--budget-s", type=float, default=None,
+                         help="wall-clock budget for the exact backend")
     profile.add_argument("--unroll", type=int, default=1)
     profile.add_argument("--cgra", default="6x6")
     profile.add_argument("--island", default="2x2")
     profile.add_argument("--top", type=int, default=20,
                          help="functions to print (cumulative time)")
+    profile.add_argument("--cached", action="store_true",
+                         help="allow warm cache hits (default: cold "
+                              "compile)")
+    profile.add_argument("--no-cache", action="store_true",
+                         help="force a cold compile even with --cached")
+
+    backends = sub.add_parser(
+        "backends", help="inspect the mapper-backend registry"
+    )
+    backends.add_argument("action", choices=("list",))
 
     cache = sub.add_parser(
         "cache", help="inspect the persistent on-disk mapping cache"
@@ -455,6 +556,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": cmd_experiments,
         "profile": cmd_profile,
         "cache": cmd_cache,
+        "backends": cmd_backends,
     }
     return handlers[args.command](args)
 

@@ -49,8 +49,16 @@ from repro.compile.pipeline import (
     resolve_config,
     resolve_strategy,
 )
+from repro.compile.portfolio import (
+    PortfolioEntry,
+    PortfolioReport,
+    compile_portfolio,
+)
 
 __all__ = [
+    "PortfolioEntry",
+    "PortfolioReport",
+    "compile_portfolio",
     "KEY_VERSION",
     "KNOWN_STRATEGIES",
     "SCHEMA_VERSION",

@@ -63,14 +63,23 @@ class MappingCache:
     max_entries: int = DEFAULT_MAX_ENTRIES
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict)
+    _meta: dict = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock)
 
-    def lookup(self, key: str, dfg: DFG, cgra: CGRA) -> Mapping | None:
+    def lookup(self, key: str, dfg: DFG, cgra: CGRA,
+               backend: str | None = None) -> Mapping | None:
         """Rehydrate the artifact under ``key`` against the caller's DFG
         and fabric instances; ``None`` on miss. The caller must still
-        validate the result before trusting it."""
+        validate the result before trusting it. When ``backend`` is
+        named and the entry's recorded provenance names a *different*
+        backend, the entry is not served (a keying bug must surface as
+        a miss, never as a wrong artifact)."""
         with self._lock:
             blob = self._entries.get(key)
+            if blob is not None and backend is not None:
+                tagged = self._meta.get(key, {}).get("backend")
+                if tagged is not None and tagged != backend:
+                    blob = None
             if blob is None:
                 self.stats.misses += 1
                 return None
@@ -78,25 +87,70 @@ class MappingCache:
             self.stats.hits += 1
         return Mapping.from_dict(json.loads(blob), dfg, cgra)
 
+    def meta(self, key: str) -> dict:
+        """Provenance recorded with the entry (empty when unknown)."""
+        with self._lock:
+            return dict(self._meta.get(key, {}))
+
     def store(self, key: str, mapping: Mapping, *,
-              engine_stats: dict[str, int] | None = None) -> None:
+              engine_stats: dict[str, int] | None = None,
+              backend: str | None = None,
+              meta: dict | None = None) -> None:
         """Store a mapping (``engine_stats`` is accepted for protocol
         compatibility with :class:`DiskCache`; the memory tier has no
         envelope to embed it in)."""
         blob = json.dumps(mapping.to_dict(), sort_keys=True,
                           separators=(",", ":"))
-        self.store_serialized(key, blob)
+        self.store_serialized(key, blob, backend=backend, meta=meta)
 
-    def store_serialized(self, key: str, blob: str) -> None:
+    def store_serialized(self, key: str, blob: str,
+                         backend: str | None = None,
+                         meta: dict | None = None) -> None:
         """Insert a pre-serialized canonical artifact (promotion from a
         disk tier or a pool worker's returned blob)."""
         with self._lock:
             self._entries[key] = blob
             self._entries.move_to_end(key)
+            record = dict(meta or {})
+            if backend is not None:
+                record.setdefault("backend", backend)
+            if record:
+                self._meta[key] = record
+            else:
+                self._meta.pop(key, None)
             self.stats.stores += 1
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._meta.pop(evicted, None)
                 self.stats.evictions += 1
+
+    def upgrade_best(self, key: str, blob: str, *, backend: str,
+                     ii: int, cost: float, kernel: str = "",
+                     optimal: bool = False) -> bool:
+        """Replace the entry under ``key`` only by a strictly better
+        (II, cost) mapping; provenance of the displaced entry is kept
+        under ``upgraded_from``. Returns True when stored."""
+        with self._lock:
+            incumbent = self._meta.get(key, {})
+        provenance = None
+        old_ii = incumbent.get("ii")
+        if isinstance(old_ii, int):
+            old_cost = incumbent.get("cost")
+            old_rank = (old_ii, old_cost if isinstance(
+                old_cost, (int, float)) else float("inf"))
+            if (ii, cost) >= old_rank:
+                return False
+            provenance = {
+                "backend": incumbent.get("backend", "engine"),
+                "ii": old_ii,
+                "cost": old_cost,
+            }
+        meta = {"backend": backend, "optimal": bool(optimal),
+                "cost": cost, "ii": int(ii)}
+        if provenance is not None:
+            meta["upgraded_from"] = provenance
+        self.store_serialized(key, blob, meta=meta)
+        return True
 
     def serialized(self, key: str) -> str | None:
         """The raw cached bytes (for byte-identity tests)."""
@@ -114,6 +168,7 @@ class MappingCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._meta.clear()
             self.stats = CacheStats()
 
     def stats_dict(self) -> dict[str, int]:

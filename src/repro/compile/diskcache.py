@@ -115,11 +115,17 @@ class DiskCache:
 
     # -- read path ----------------------------------------------------------
 
-    def load_blob(self, key: str) -> str | None:
+    def load_blob(self, key: str, backend: str | None = None) -> str | None:
         """The canonical mapping JSON under ``key``; ``None`` on miss.
 
         Any artifact that fails to parse or whose envelope disagrees
-        with ``key`` is quarantined and reported as a miss.
+        with ``key`` is quarantined and reported as a miss. When the
+        caller names the ``backend`` it expects, the envelope's
+        ``backend`` tag must agree: a mismatch is quarantined too.
+        Artifacts written before the backend tag existed carry no tag;
+        they are servable only for the default ``engine`` backend
+        (whose keys they were computed under — the pipeline still
+        revalidates them), and quarantined for any other expectation.
         """
         path = self._path(key)
         try:
@@ -135,6 +141,13 @@ class DiskCache:
                 raise ValueError("schema tag mismatch")
             if envelope.get("key") != key:
                 raise ValueError("key mismatch (misfiled artifact)")
+            if backend is not None:
+                tagged = envelope.get("backend", "engine")
+                if tagged != backend:
+                    raise ValueError(
+                        f"backend mismatch: artifact is {tagged!r}, "
+                        f"caller expects {backend!r}"
+                    )
             mapping_dict = envelope["mapping"]
             if not isinstance(mapping_dict, dict):
                 raise ValueError("mapping payload is not an object")
@@ -146,14 +159,33 @@ class DiskCache:
         return json.dumps(mapping_dict, sort_keys=True,
                           separators=(",", ":"))
 
-    def lookup(self, key: str, dfg: DFG, cgra: CGRA) -> Mapping | None:
+    def meta(self, key: str) -> dict:
+        """Provenance of the artifact under ``key`` (empty on miss):
+        the producing ``backend``, its ``optimal`` proof flag, the
+        mapping ``cost`` and any ``upgraded_from`` history."""
+        path = self._path(key)
+        try:
+            envelope = json.loads(path.read_bytes().decode("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return {}
+        if not isinstance(envelope, dict):
+            return {}
+        out = {}
+        for field_name in ("backend", "optimal", "cost", "ii",
+                           "upgraded_from"):
+            if field_name in envelope:
+                out[field_name] = envelope[field_name]
+        return out
+
+    def lookup(self, key: str, dfg: DFG, cgra: CGRA,
+               backend: str | None = None) -> Mapping | None:
         """Rehydrate the artifact under ``key``; ``None`` on miss.
 
         A blob that parses but does not revalidate against the caller's
         DFG/fabric (e.g. a kernel-name mismatch) is quarantined too: it
         can never become servable again under this key.
         """
-        blob = self.load_blob(key)
+        blob = self.load_blob(key, backend)
         if blob is None:
             return None
         try:
@@ -167,21 +199,30 @@ class DiskCache:
     # -- write path ---------------------------------------------------------
 
     def store(self, key: str, mapping: Mapping, *,
-              engine_stats: dict[str, int] | None = None) -> None:
+              engine_stats: dict[str, int] | None = None,
+              backend: str | None = None,
+              meta: dict | None = None) -> None:
         blob = json.dumps(mapping.to_dict(), sort_keys=True,
                           separators=(",", ":"))
         self.store_serialized(key, blob, kernel=mapping.dfg.name,
-                              engine_stats=engine_stats)
+                              engine_stats=engine_stats, backend=backend,
+                              meta=meta)
 
     def store_serialized(self, key: str, blob: str,
                          kernel: str = "",
-                         engine_stats: dict[str, int] | None = None) -> None:
+                         engine_stats: dict[str, int] | None = None,
+                         backend: str | None = None,
+                         meta: dict | None = None) -> None:
         """Publish a pre-serialized canonical mapping blob atomically.
 
         ``engine_stats`` optionally embeds the search-effort counters of
-        the compile that produced the artifact (an additive envelope
-        field: readers that don't know it ignore it, so the schema
-        version is unchanged and cache keys are unaffected).
+        the compile that produced the artifact; ``backend`` tags which
+        mapper backend produced it and ``meta`` adds provenance fields
+        (``optimal``, ``cost``, ``ii``, ``upgraded_from``). All are
+        additive envelope fields: readers that don't know them ignore
+        them, so the schema version is unchanged and cache keys are
+        unaffected — but a reader that *names* its expected backend is
+        refused a mismatching artifact (see :meth:`load_blob`).
         """
         envelope = {
             "schema": SCHEMA_VERSION,
@@ -191,6 +232,11 @@ class DiskCache:
         }
         if engine_stats:
             envelope["engine_stats"] = dict(engine_stats)
+        if backend is not None:
+            envelope["backend"] = backend
+        for field_name in ("optimal", "cost", "ii", "upgraded_from"):
+            if meta and field_name in meta:
+                envelope[field_name] = meta[field_name]
         payload = json.dumps(envelope, sort_keys=True,
                              separators=(",", ":"))
         path = self._path(key)
@@ -212,6 +258,40 @@ class DiskCache:
                 except OSError:
                     pass
         self.stats.stores += 1
+
+    def upgrade_best(self, key: str, blob: str, *, backend: str,
+                     ii: int, cost: float, kernel: str = "",
+                     optimal: bool = False) -> bool:
+        """Best-known-artifact upgrade: replace the artifact under
+        ``key`` only by a *strictly better* mapping.
+
+        "Better" is lexicographic (II, cost). On replacement the new
+        envelope records where the old artifact came from
+        (``upgraded_from``), so provenance survives the upgrade; on a
+        tie or a worse candidate the incumbent is left untouched.
+        Returns True when the candidate was stored.
+        """
+        incumbent = self.meta(key)
+        provenance = None
+        if incumbent:
+            old_ii = incumbent.get("ii")
+            old_cost = incumbent.get("cost")
+            if isinstance(old_ii, int):
+                old_rank = (old_ii, old_cost if isinstance(
+                    old_cost, (int, float)) else float("inf"))
+                if (ii, cost) >= old_rank:
+                    return False
+                provenance = {
+                    "backend": incumbent.get("backend", "engine"),
+                    "ii": old_ii,
+                    "cost": old_cost,
+                }
+        meta = {"optimal": bool(optimal), "cost": cost, "ii": int(ii)}
+        if provenance is not None:
+            meta["upgraded_from"] = provenance
+        self.store_serialized(key, blob, kernel=kernel, backend=backend,
+                              meta=meta)
+        return True
 
     # -- housekeeping -------------------------------------------------------
 
@@ -349,34 +429,56 @@ class TieredCache:
     memory: MappingCache = field(default_factory=MappingCache)
     disk: DiskCache = field(default_factory=DiskCache)
 
-    def lookup(self, key: str, dfg: DFG, cgra: CGRA) -> Mapping | None:
-        hit = self.memory.lookup(key, dfg, cgra)
+    def lookup(self, key: str, dfg: DFG, cgra: CGRA,
+               backend: str | None = None) -> Mapping | None:
+        hit = self.memory.lookup(key, dfg, cgra, backend)
         if hit is not None:
             return hit
-        blob = self.disk.load_blob(key)
+        blob = self.disk.load_blob(key, backend)
         if blob is None:
             return None
         try:
             mapping = Mapping.from_dict(json.loads(blob), dfg, cgra)
         except Exception:
             return None
-        self.memory.store_serialized(key, blob)
+        self.memory.store_serialized(key, blob, meta=self.disk.meta(key))
         return mapping
 
+    def meta(self, key: str) -> dict:
+        found = self.memory.meta(key)
+        return found if found else self.disk.meta(key)
+
     def store(self, key: str, mapping: Mapping, *,
-              engine_stats: dict[str, int] | None = None) -> None:
-        self.memory.store(key, mapping)
+              engine_stats: dict[str, int] | None = None,
+              backend: str | None = None,
+              meta: dict | None = None) -> None:
+        self.memory.store(key, mapping, backend=backend, meta=meta)
         blob = self.memory.serialized(key)
         if blob is not None:
             self.disk.store_serialized(key, blob, kernel=mapping.dfg.name,
-                                       engine_stats=engine_stats)
+                                       engine_stats=engine_stats,
+                                       backend=backend, meta=meta)
 
     def store_serialized(self, key: str, blob: str,
                          kernel: str = "",
-                         engine_stats: dict[str, int] | None = None) -> None:
-        self.memory.store_serialized(key, blob)
+                         engine_stats: dict[str, int] | None = None,
+                         backend: str | None = None,
+                         meta: dict | None = None) -> None:
+        self.memory.store_serialized(key, blob, backend=backend, meta=meta)
         self.disk.store_serialized(key, blob, kernel=kernel,
-                                   engine_stats=engine_stats)
+                                   engine_stats=engine_stats,
+                                   backend=backend, meta=meta)
+
+    def upgrade_best(self, key: str, blob: str, *, backend: str,
+                     ii: int, cost: float, kernel: str = "",
+                     optimal: bool = False) -> bool:
+        stored = self.disk.upgrade_best(key, blob, backend=backend, ii=ii,
+                                        cost=cost, kernel=kernel,
+                                        optimal=optimal)
+        if stored:
+            self.memory.store_serialized(key, blob,
+                                         meta=self.disk.meta(key))
+        return stored
 
     def serialized(self, key: str) -> str | None:
         blob = self.memory.serialized(key)

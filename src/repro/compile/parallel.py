@@ -42,7 +42,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
 
 from repro import obs
@@ -91,6 +91,13 @@ class SweepItem:
     unroll: int = 1
     strategy: str = "iced"
     config: EngineConfig | None = None
+    backend: str = "engine"
+    #: Backend constructor options as sorted (key, value) pairs —
+    #: tuples keep the item frozen/hashable; use ``backend_kwargs``.
+    backend_options: tuple = ()
+    #: Racing: a cancellable item may be abandoned once an earlier-
+    #: precedence item proves optimality (see ``cancel_on_optimal``).
+    cancellable: bool = False
     refine: bool = True
     anneal_moves: int = 800
     seed: int | None = None
@@ -106,6 +113,9 @@ class SweepItem:
     def name(self) -> str:
         return self.kernel or self.dfg.name
 
+    def backend_kwargs(self) -> dict:
+        return dict(self.backend_options)
+
 
 @dataclass
 class SweepOutcome:
@@ -116,15 +126,23 @@ class SweepOutcome:
     result: CompileResult | None = None
     error: MappingError | None = None
     worker_pid: int = 0
+    #: Abandoned by ``cancel_on_optimal`` racing before it finished —
+    #: not a failure, just work that a proof made redundant.
+    cancelled: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.error is None
+        return self.error is None and not self.cancelled
 
     @property
     def mapping(self) -> Mapping:
         if self.error is not None:
             raise self.error
+        if self.cancelled:
+            raise MappingError(
+                f"item {self.index} ({self.item.name}) was cancelled by "
+                "portfolio racing"
+            )
         return self.result.mapping
 
 
@@ -161,6 +179,8 @@ def _compile_item(payload: tuple) -> tuple:
             if item.dfg is not None:
                 result = compile_dfg(
                     item.dfg, cgra, item.strategy, item.config,
+                    backend=item.backend,
+                    backend_options=item.backend_kwargs(),
                     refine=item.refine, anneal_moves=item.anneal_moves,
                     seed=item.seed or 0, cache=cache,
                     instrument=instrument,
@@ -168,6 +188,8 @@ def _compile_item(payload: tuple) -> tuple:
             else:
                 result = compile_kernel(
                     item.kernel, cgra, item.strategy, item.config,
+                    backend=item.backend,
+                    backend_options=item.backend_kwargs(),
                     unroll=item.unroll, refine=item.refine,
                     anneal_moves=item.anneal_moves, seed=item.seed or 0,
                     cache=cache, instrument=instrument,
@@ -176,14 +198,21 @@ def _compile_item(payload: tuple) -> tuple:
             return (index, None, None, "", False, instrument.to_dicts(),
                     (str(exc), exc.last_ii), os.getpid(),
                     tracer.to_dicts() if tracer else [],
-                    obs.metrics().snapshot())
+                    obs.metrics().snapshot(), None)
         blob = json.dumps(result.mapping.to_dict(), sort_keys=True,
                           separators=(",", ":"))
         engine_blob = cache.serialized(result.cache_key)
+        meta = {
+            "backend": result.backend,
+            "optimal": result.optimal,
+            "cost": result.cost,
+            "ii": result.report.ii,
+            "backend_stats": result.backend_stats,
+        }
         return (index, blob, engine_blob, result.cache_key,
                 result.cache_hit, instrument.to_dicts(), None, os.getpid(),
                 tracer.to_dicts() if tracer else [],
-                obs.metrics().snapshot())
+                obs.metrics().snapshot(), meta)
     finally:
         if tracer is not None:
             obs.uninstall_tracer()
@@ -221,19 +250,39 @@ class SweepExecutor:
                 if self.cache_dir else memory
             )
 
-    def run(self, items, cgra: CGRA) -> list[SweepOutcome]:
-        """Compile every item; outcomes come back in work-list order."""
+    def run(self, items, cgra: CGRA, *,
+            cancel_on_optimal: bool = False) -> list[SweepOutcome]:
+        """Compile every item; outcomes come back in work-list order.
+
+        ``cancel_on_optimal`` enables portfolio racing: once an item
+        completes with a *proven-optimal* result, later-indexed items
+        marked ``cancellable`` are abandoned (serial path) or cancelled
+        best-effort (pool path). An already-running pool item may still
+        complete — selection rules must truncate at the first proof
+        (see :func:`repro.mapper.backends.select_best`), which keeps
+        the chosen result independent of cancellation timing.
+        """
         seeded = [
             item if item.seed is not None
             else replace(item, seed=derive_worker_seed(self.seed, i))
             for i, item in enumerate(items)
         ]
         if self.jobs == 1 or len(seeded) <= 1:
-            return [
-                self._run_inline(i, item, cgra)
-                for i, item in enumerate(seeded)
-            ]
-        return self._run_pool(seeded, cgra)
+            outcomes: list[SweepOutcome] = []
+            proof_at: int | None = None
+            for i, item in enumerate(seeded):
+                if (cancel_on_optimal and proof_at is not None
+                        and i > proof_at and item.cancellable):
+                    outcomes.append(SweepOutcome(i, item, cancelled=True))
+                    continue
+                outcome = self._run_inline(i, item, cgra)
+                outcomes.append(outcome)
+                if (cancel_on_optimal and proof_at is None
+                        and outcome.ok and outcome.result.optimal):
+                    proof_at = i
+            return outcomes
+        return self._run_pool(seeded, cgra,
+                              cancel_on_optimal=cancel_on_optimal)
 
     # -- serial path --------------------------------------------------------
 
@@ -243,6 +292,8 @@ class SweepExecutor:
             if item.dfg is not None:
                 result = compile_dfg(
                     item.dfg, cgra, item.strategy, item.config,
+                    backend=item.backend,
+                    backend_options=item.backend_kwargs(),
                     refine=item.refine, anneal_moves=item.anneal_moves,
                     seed=item.seed or 0, cache=self.cache,
                     instrument=self.instrument,
@@ -250,6 +301,8 @@ class SweepExecutor:
             else:
                 result = compile_kernel(
                     item.kernel, cgra, item.strategy, item.config,
+                    backend=item.backend,
+                    backend_options=item.backend_kwargs(),
                     unroll=item.unroll, refine=item.refine,
                     anneal_moves=item.anneal_moves, seed=item.seed or 0,
                     cache=self.cache, instrument=self.instrument,
@@ -272,8 +325,8 @@ class SweepExecutor:
             "fork" if "fork" in methods else None
         )
 
-    def _run_pool(self, items: list[SweepItem],
-                  cgra: CGRA) -> list[SweepOutcome]:
+    def _run_pool(self, items: list[SweepItem], cgra: CGRA, *,
+                  cancel_on_optimal: bool = False) -> list[SweepOutcome]:
         raw: list[tuple | None] = [None] * len(items)
         trace_on = obs.current_tracer() is not None
         with ProcessPoolExecutor(
@@ -286,18 +339,54 @@ class SweepExecutor:
                 pool.submit(_compile_item, (i, item, cgra, trace_on))
                 for i, item in enumerate(items)
             ]
-            for future in futures:
+            if not cancel_on_optimal:
+                for future in futures:
+                    tup = future.result()  # re-raises worker crashes
+                    raw[tup[0]] = tup
+            else:
+                self._race(futures, items, raw)
+        return [
+            self._merge(tup, items[i], cgra) if tup is not None
+            else SweepOutcome(i, items[i], cancelled=True)
+            for i, tup in enumerate(raw)
+        ]
+
+    @staticmethod
+    def _race(futures: list, items: list[SweepItem],
+              raw: list[tuple | None]) -> None:
+        """Collect completions, cancelling doomed cancellable items.
+
+        Once the lowest-indexed proven-optimal result is known, every
+        *pending* cancellable item behind it is cancelled best-effort.
+        Items that slip through and complete anyway are kept — the
+        caller's selection rule truncates at the first proof, so the
+        chosen result never depends on cancellation timing.
+        """
+        pending = set(futures)
+        proof_at: int | None = None
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if future.cancelled():
+                    continue  # raw stays None -> cancelled outcome
                 tup = future.result()  # re-raises worker crashes
                 raw[tup[0]] = tup
-        return [
-            self._merge(tup, items[i], cgra) for i, tup in enumerate(raw)
-        ]
+                meta = tup[10]
+                if meta and meta.get("optimal"):
+                    proof_at = (tup[0] if proof_at is None
+                                else min(proof_at, tup[0]))
+            if proof_at is None:
+                continue
+            for index, future in enumerate(futures):
+                if (index > proof_at and items[index].cancellable
+                        and future in pending and future.cancel()):
+                    pending.discard(future)
 
     def _merge(self, tup: tuple, item: SweepItem,
                cgra: CGRA) -> SweepOutcome:
         """Rehydrate, re-validate and account one worker result."""
         (index, blob, engine_blob, cache_key, cache_hit, event_dicts,
-         error, pid, span_dicts, metric_snapshot) = tup
+         error, pid, span_dicts, metric_snapshot, meta) = tup
         events = [
             PassEvent(d["pass"], d["wall_ms"], dict(d["counters"]),
                       d["kernel"])
@@ -325,16 +414,27 @@ class SweepExecutor:
                                      category="executor") as counters:
             report = validate_mapping(mapping)
             counters["ii"] = report.ii
-        # Promote the worker's engine artifact so later serial compiles
+        # Promote the worker's backend artifact so later serial compiles
         # (e.g. derived strategies over the same placement) hit warm.
+        # The backend tag and provenance ride along so the promoted
+        # artifact stays servable under backend-checked lookups.
+        meta = meta or {}
         if engine_blob is not None and hasattr(self.cache,
                                                "store_serialized"):
-            self.cache.store_serialized(cache_key, engine_blob)
+            self.cache.store_serialized(
+                cache_key, engine_blob, backend=item.backend,
+                meta={k: meta[k] for k in ("optimal", "cost", "ii")
+                      if k in meta},
+            )
         result = CompileResult(
             mapping=mapping,
             report=report,
             events=events,
             cache_key=cache_key,
             cache_hit=cache_hit,
+            backend=meta.get("backend", item.backend),
+            backend_stats=meta.get("backend_stats"),
+            optimal=bool(meta.get("optimal", False)),
+            cost=float(meta.get("cost", 0.0)),
         )
         return SweepOutcome(index, item, result=result, worker_pid=pid)

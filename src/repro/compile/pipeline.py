@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.arch.cgra import CGRA
 from repro.compile.cache import MappingCache, get_cache
 from repro.compile.fingerprint import mapping_cache_key
@@ -39,21 +40,27 @@ from repro.dfg.analysis import DFGAnalysis, analyze_dfg
 from repro.dfg.graph import DFG
 from repro.errors import MappingError
 from repro.mapper.anneal import AnnealStats, anneal_mapping
+# The strategy vocabulary lives in the backend registry (single source
+# of truth for the CLI, experiments and benchmarks); re-exported here
+# for compatibility with historical imports.
+from repro.mapper.backends import (  # noqa: F401  (re-exports)
+    KNOWN_STRATEGIES,
+    STRATEGY_ALIASES,
+    MappingResult,
+    backend_names,
+    make_backend,
+    mapping_cost,
+    resolve_strategy,
+    strategy_choices,
+)
 from repro.mapper.bitstream import Bitstream, generate_bitstream
-from repro.mapper.engine import EngineConfig, EngineStats, map_dfg
+from repro.mapper.engine import EngineConfig, EngineStats
 from repro.mapper.exhaustive import SearchStats, map_exhaustive
 from repro.mapper.island_refine import refine_island_levels
 from repro.mapper.mapping import Mapping
 from repro.mapper.per_tile import assign_per_tile_dvfs, gate_unused_tiles
 from repro.mapper.timing import TimingReport
 from repro.mapper.validation import validate_mapping
-
-#: Every strategy the pipeline compiles, mapped to the engine flavour
-#: that produces its underlying placement.
-STRATEGY_ALIASES = {"per_tile": "per_tile_dvfs"}
-KNOWN_STRATEGIES = (
-    "baseline", "baseline+gating", "per_tile_dvfs", "iced", "anneal",
-)
 
 #: Sentinel: the refinement pass inherits ``config.allowed_level_names``.
 _FROM_CONFIG = object()
@@ -73,6 +80,8 @@ class CompileContext:
     use_cache: bool = True
     cache: MappingCache | None = None
     instrument: Instrumentation | None = None
+    backend: str = "engine"
+    backend_options: dict = field(default_factory=dict)
     # -- produced by passes -------------------------------------------------
     analysis: DFGAnalysis | None = None
     mapping: Mapping | None = None
@@ -80,6 +89,9 @@ class CompileContext:
     bitstream: Bitstream | None = None
     engine_stats: EngineStats | None = None
     anneal_stats: AnnealStats | None = None
+    backend_stats: dict | None = None
+    optimal: bool = False
+    cost: float = 0.0
     cache_key: str = ""
     cache_hit: bool = False
     # -- options ------------------------------------------------------------
@@ -100,19 +112,14 @@ class CompileResult:
     engine_stats: EngineStats | None = None
     anneal_stats: AnnealStats | None = None
     bitstream: Bitstream | None = None
+    backend: str = "engine"
+    backend_stats: dict | None = None
+    optimal: bool = False
+    cost: float = 0.0
 
     @property
     def wall_ms(self) -> float:
         return sum(e.wall_ms for e in self.events)
-
-
-def resolve_strategy(strategy: str) -> str:
-    strategy = STRATEGY_ALIASES.get(strategy, strategy)
-    if strategy not in KNOWN_STRATEGIES:
-        raise ValueError(
-            f"unknown strategy {strategy!r}; known: {KNOWN_STRATEGIES}"
-        )
-    return strategy
 
 
 def resolve_config(strategy: str,
@@ -150,33 +157,83 @@ def _pass_analyze(ctx: CompileContext) -> None:
         counters["nodes"] = ctx.dfg.num_nodes
 
 
+def _namespaced(backend: str, counters: dict[str, int]) -> dict[str, int]:
+    """Backend counters as they appear in merged snapshots.
+
+    The default engine keeps its historical bare names (benchmark
+    artifacts, cache envelopes and tests all consume them); every other
+    backend is prefixed ``{backend}.`` so heterogeneous sweeps never
+    collide counters from different backends under one name.
+    """
+    if backend == "engine":
+        return dict(counters)
+    return {f"{backend}.{k}": v for k, v in counters.items()}
+
+
 def _pass_place_route(ctx: CompileContext) -> None:
-    """Label + place + route through the engine, cache-backed."""
+    """Label + place + route through the selected backend, cache-backed.
+
+    The cache key's ``kind`` is the backend name (and its options ride
+    in the key's option payload), so artifacts produced by different
+    backends can never shadow one another; the disk tier additionally
+    refuses to serve an artifact whose envelope names a different
+    backend (see :meth:`DiskCache.load_blob`).
+    """
     cache = ctx.cache if ctx.cache is not None else get_cache()
-    ctx.cache_key = mapping_cache_key(ctx.dfg, ctx.cgra, ctx.config,
-                                      "engine")
+    ctx.cache_key = mapping_cache_key(
+        ctx.dfg, ctx.cgra, ctx.config, ctx.backend,
+        options=dict(sorted(ctx.backend_options.items()))
+        if ctx.backend_options else None,
+    )
     with ctx.instrument.measure("place_route", ctx.dfg.name) as counters:
         if ctx.use_cache:
             try:
-                cached = cache.lookup(ctx.cache_key, ctx.dfg, ctx.cgra)
+                cached = cache.lookup(ctx.cache_key, ctx.dfg, ctx.cgra,
+                                      ctx.backend)
             except Exception:
                 cached = None  # corrupt artifact: recompile cold
             if cached is not None:
                 ctx.mapping = cached
                 ctx.cache_hit = True
+                ctx.cost = mapping_cost(cached)
+                meta_of = getattr(cache, "meta", None)
+                if meta_of is not None:
+                    ctx.optimal = bool(meta_of(ctx.cache_key)
+                                       .get("optimal", False))
                 counters["cache_hit"] = 1
                 counters["ii"] = cached.ii
                 return
-        stats = EngineStats()
-        ctx.mapping = map_dfg(ctx.dfg, ctx.cgra, ctx.config,
-                              analysis=ctx.analysis, stats=stats)
-        ctx.engine_stats = stats
-        counters.update(stats.as_counters())
+        backend = make_backend(ctx.backend, **ctx.backend_options)
+        with obs.span(f"backend:{ctx.backend}", category="mapper",
+                      kernel=ctx.dfg.name) as span:
+            result = backend.map(ctx.dfg, ctx.cgra, ctx.config,
+                                 analysis=ctx.analysis)
+            if span:
+                span.set(ii=result.ii, optimal=result.optimal)
+        obs.metrics().counter(
+            f"mapper.backend.{ctx.backend}.compiles").inc()
+        if result.optimal:
+            obs.metrics().counter(
+                f"mapper.backend.{ctx.backend}.proofs").inc()
+        ctx.mapping = result.mapping
+        ctx.optimal = result.optimal
+        ctx.cost = result.cost
+        ctx.backend_stats = dict(result.stats)
+        if ctx.backend == "engine":
+            # Engine counter keys equal EngineStats field names, so the
+            # historical stats object survives the dispatch refactor.
+            ctx.engine_stats = EngineStats(**result.stats)
+        namespaced = _namespaced(ctx.backend, result.stats)
+        counters.update(namespaced)
+        if ctx.backend != "engine":
+            counters[f"{ctx.backend}.optimal"] = int(result.optimal)
         counters["cache_hit"] = 0
-        counters["ii"] = ctx.mapping.ii
+        counters["ii"] = result.ii
         if ctx.use_cache:
             cache.store(ctx.cache_key, ctx.mapping,
-                        engine_stats=stats.as_counters())
+                        engine_stats=namespaced, backend=ctx.backend,
+                        meta={"optimal": result.optimal,
+                              "cost": result.cost, "ii": result.ii})
 
 
 def _pass_post(ctx: CompileContext) -> None:
@@ -250,24 +307,32 @@ def _run(ctx: CompileContext, want_bitstream: bool) -> CompileResult:
         engine_stats=ctx.engine_stats,
         anneal_stats=ctx.anneal_stats,
         bitstream=ctx.bitstream,
+        backend=ctx.backend,
+        backend_stats=ctx.backend_stats,
+        optimal=ctx.optimal,
+        cost=ctx.cost,
     )
 
 
 def compile_dfg(dfg: DFG, cgra: CGRA, strategy: str = "iced",
                 config: EngineConfig | None = None, *,
+                backend: str = "engine",
+                backend_options: dict | None = None,
                 refine: bool = True,
                 refine_level_names: object = _FROM_CONFIG,
                 anneal_moves: int = 800, seed: int = 0,
                 use_cache: bool = True, cache: MappingCache | None = None,
                 instrument: Instrumentation | None = None,
                 want_bitstream: bool = False) -> CompileResult:
-    """Compile an existing DFG onto ``cgra`` under ``strategy``."""
+    """Compile an existing DFG onto ``cgra`` under ``strategy``,
+    producing the placement with the named mapper ``backend``."""
     strategy = resolve_strategy(strategy)
     ctx = CompileContext(
         cgra=cgra, strategy=strategy,
         config=resolve_config(strategy, config), dfg=dfg,
         seed=seed, use_cache=use_cache, cache=cache,
-        instrument=instrument, refine=refine,
+        instrument=instrument, backend=backend,
+        backend_options=dict(backend_options or {}), refine=refine,
         refine_level_names=refine_level_names, anneal_moves=anneal_moves,
     )
     return _run(ctx, want_bitstream)
@@ -275,6 +340,8 @@ def compile_dfg(dfg: DFG, cgra: CGRA, strategy: str = "iced",
 
 def compile_kernel(name: str, cgra: CGRA, strategy: str = "iced",
                    config: EngineConfig | None = None, *,
+                   backend: str = "engine",
+                   backend_options: dict | None = None,
                    unroll: int = 1, refine: bool = True,
                    anneal_moves: int = 800, seed: int = 0,
                    use_cache: bool = True,
@@ -288,6 +355,7 @@ def compile_kernel(name: str, cgra: CGRA, strategy: str = "iced",
         config=resolve_config(strategy, config),
         kernel=name, unroll=unroll, seed=seed,
         use_cache=use_cache, cache=cache, instrument=instrument,
+        backend=backend, backend_options=dict(backend_options or {}),
         refine=refine, anneal_moves=anneal_moves,
     )
     return _run(ctx, want_bitstream)

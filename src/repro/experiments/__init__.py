@@ -27,6 +27,7 @@ from repro.experiments import (
     ablation_multicycle,
     ablation_window,
     ablation_levels,
+    optimality,
 )
 
 ALL_EXPERIMENTS = {
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = {
     "ablation_multicycle": ablation_multicycle.run,
     "ablation_window": ablation_window.run,
     "ablation_levels": ablation_levels.run,
+    "optimality": optimality.run,
 }
 
 __all__ = ["ExperimentResult", "ALL_EXPERIMENTS"]

@@ -32,11 +32,16 @@ from repro.compile import (
     get_cache,
 )
 from repro.errors import MappingError
+from repro.mapper.backends import (
+    EXPERIMENT_STRATEGIES,
+    resolve_strategy,
+)
 from repro.mapper.mapping import Mapping
 from repro.mapper.timing import TimingReport
 
-#: The three evaluated designs of section V plus the gating variant.
-STRATEGIES = ("baseline", "baseline+gating", "per_tile_dvfs", "iced")
+#: The three evaluated designs of section V plus the gating variant —
+#: the registry's canonical list, re-exported for the figure modules.
+STRATEGIES = EXPERIMENT_STRATEGIES
 
 _MEMO: dict[tuple, "MappedKernel"] = {}
 
@@ -88,6 +93,9 @@ class MappedKernel:
     mapping: Mapping
     report: TimingReport
     cache_hit: bool = False
+    cost: float = 0.0
+    optimal: bool = False
+    backend_stats: dict | None = None
 
 
 def fabric_key(cgra: CGRA) -> tuple:
@@ -97,21 +105,27 @@ def fabric_key(cgra: CGRA) -> tuple:
 
 
 def mapped_kernel(name: str, unroll: int, cgra: CGRA,
-                  strategy: str) -> MappedKernel:
-    """Compile (and memoize) one kernel under one strategy."""
-    if strategy not in STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}")
-    key = (name, unroll, fabric_key(cgra), strategy)
+                  strategy: str, backend: str = "engine",
+                  backend_options: dict | None = None) -> MappedKernel:
+    """Compile (and memoize) one kernel under one strategy/backend."""
+    strategy = resolve_strategy(strategy)
+    options = tuple(sorted((backend_options or {}).items()))
+    key = (name, unroll, fabric_key(cgra), strategy, backend, options)
     if key in _MEMO:
         return _MEMO[key]
     if key in _MEMO_ERRORS:
         raise _MEMO_ERRORS[key]
     compiled = compile_kernel(name, cgra, strategy, unroll=unroll,
+                              backend=backend,
+                              backend_options=dict(options),
                               cache=_experiment_cache(),
                               instrument=_INSTRUMENT)
     result = MappedKernel(mapping=compiled.mapping,
                           report=compiled.report,
-                          cache_hit=compiled.cache_hit)
+                          cache_hit=compiled.cache_hit,
+                          cost=compiled.cost,
+                          optimal=compiled.optimal,
+                          backend_stats=compiled.backend_stats)
     _MEMO[key] = result
     return result
 
@@ -160,19 +174,25 @@ class StrategySweep:
 
 def _prefetch_parallel(kernels: tuple[str, ...], cgra: CGRA,
                        strategies: tuple[str, ...],
-                       unrolls: tuple[int, ...], jobs: int) -> None:
+                       unrolls: tuple[int, ...], jobs: int,
+                       backend: str = "engine",
+                       backend_options: dict | None = None) -> None:
     """Fan every un-memoized (kernel, strategy, unroll) compile out
     across the process pool, memoizing successes and failures so the
     serial aggregation loop below never compiles."""
+    options = tuple(sorted((backend_options or {}).items()))
     pending: list[tuple[tuple, SweepItem]] = []
     for unroll in unrolls:
         for name in kernels:
             for strategy in strategies:
-                key = (name, unroll, fabric_key(cgra), strategy)
+                key = (name, unroll, fabric_key(cgra), strategy,
+                       backend, options)
                 if key in _MEMO or key in _MEMO_ERRORS:
                     continue
                 pending.append((key, SweepItem(kernel=name, unroll=unroll,
-                                               strategy=strategy)))
+                                               strategy=strategy,
+                                               backend=backend,
+                                               backend_options=options)))
     if not pending:
         return
     executor = SweepExecutor(jobs=jobs, cache=_experiment_cache(),
@@ -185,6 +205,9 @@ def _prefetch_parallel(kernels: tuple[str, ...], cgra: CGRA,
                 mapping=outcome.result.mapping,
                 report=outcome.result.report,
                 cache_hit=outcome.result.cache_hit,
+                cost=outcome.result.cost,
+                optimal=outcome.result.optimal,
+                backend_stats=outcome.result.backend_stats,
             )
         else:
             _MEMO_ERRORS[key] = outcome.error
@@ -194,7 +217,9 @@ def sweep_strategies(kernels: tuple[str, ...], cgra: CGRA,
                      strategies: tuple[str, ...], metric: Metric,
                      unrolls: tuple[int, ...] = (1,), *,
                      skip_unmappable: bool = False,
-                     jobs: int | None = None) -> StrategySweep:
+                     jobs: int | None = None,
+                     backend: str = "engine",
+                     backend_options: dict | None = None) -> StrategySweep:
     """The kernel x strategy x unroll loop shared by Figs 9-12.
 
     Compiles every combination through the pipeline, applies ``metric``
@@ -210,7 +235,8 @@ def sweep_strategies(kernels: tuple[str, ...], cgra: CGRA,
     jobs = _DEFAULT_JOBS if jobs is None else max(1, int(jobs))
     if jobs > 1:
         _prefetch_parallel(kernels, cgra, tuple(strategies),
-                           tuple(unrolls), jobs)
+                           tuple(unrolls), jobs, backend,
+                           backend_options)
     sweep = StrategySweep(strategies=tuple(strategies),
                           unrolls=tuple(unrolls))
     for unroll in unrolls:
@@ -220,7 +246,8 @@ def sweep_strategies(kernels: tuple[str, ...], cgra: CGRA,
             values: dict[str, float] = {}
             try:
                 for strategy in strategies:
-                    bundle = mapped_kernel(name, unroll, cgra, strategy)
+                    bundle = mapped_kernel(name, unroll, cgra, strategy,
+                                           backend, backend_options)
                     values[strategy] = metric(bundle, strategy)
             except MappingError:
                 if skip_unmappable:

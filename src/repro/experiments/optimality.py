@@ -1,0 +1,111 @@
+"""Optimality-gap report: exact vs heuristic vs annealed mappings.
+
+For every kernel small enough for the exact branch-and-bound backend
+this experiment compiles the same DFG with the ``engine``, ``anneal``
+and ``exact`` backends, reports II and power per backend, and — when
+the exact backend proves optimality within its probe budget — the II
+gap each heuristic leaves on the table. The lower-bound column is the
+exact backend's sound bound (RecMII / duration / capacity), so an
+``engine`` row that already sits on the bound is proved optimal with
+zero search.
+
+Per-backend observability counters accumulated during the run
+(``mapper.backend.<name>.compiles`` / ``.proofs``, the
+``mapper.optimality_gap`` histogram) land in ``result.data`` so the
+benchmark harness can track proof rates over time.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.arch.cgra import CGRA
+from repro.errors import MappingError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import mapped_kernel
+from repro.kernels.suite import load_kernel
+from repro.mapper.exact import exact_lower_bound
+from repro.power.model import mapping_power
+from repro.utils.tables import TextTable
+
+#: Small Table I kernels where the exact search is tractable; the
+#: first five are proved optimal within the default budget on 6x6.
+DEFAULT_KERNELS = ("combrelu", "conv", "gemm", "invert", "relu",
+                   "fir", "lu_init")
+
+BACKENDS = ("engine", "anneal", "exact")
+
+
+def run(kernels: tuple[str, ...] = DEFAULT_KERNELS,
+        size: int = 6, unroll: int = 1, strategy: str = "iced",
+        max_probes: int = 60_000,
+        budget_s: float | None = None) -> ExperimentResult:
+    cgra = CGRA.build(size, size)
+    exact_options = {"max_probes": max_probes}
+    if budget_s is not None:
+        exact_options["budget_s"] = budget_s
+    options = {"engine": None, "anneal": None, "exact": exact_options}
+
+    table = TextTable(["kernel", "LB", "engine II", "anneal II",
+                       "exact II", "proven", "gap engine", "gap anneal",
+                       "engine mW", "exact mW"])
+    series = {"gap engine": [], "gap anneal": []}
+    records = []
+    proofs = 0
+    for name in kernels:
+        lb = exact_lower_bound(load_kernel(name, unroll), cgra)
+        row: dict = {"kernel": name, "lower_bound": lb}
+        try:
+            bundles = {
+                backend: mapped_kernel(name, unroll, cgra, strategy,
+                                       backend, options[backend])
+                for backend in BACKENDS
+            }
+        except MappingError as exc:
+            records.append({**row, "error": str(exc)})
+            continue
+        proven = bundles["exact"].optimal
+        proofs += int(proven)
+        iis = {b: bundles[b].mapping.ii for b in BACKENDS}
+        gaps = {b: (iis[b] - iis["exact"] if proven else None)
+                for b in ("engine", "anneal")}
+        power = {b: mapping_power(bundles[b].mapping,
+                                  report=bundles[b].report).total_mw
+                 for b in ("engine", "exact")}
+        table.add_row([
+            name, lb, iis["engine"], iis["anneal"], iis["exact"],
+            "yes" if proven else "no",
+            gaps["engine"] if proven else "-",
+            gaps["anneal"] if proven else "-",
+            round(power["engine"], 1), round(power["exact"], 1),
+        ])
+        if proven:
+            series["gap engine"].append(float(gaps["engine"]))
+            series["gap anneal"].append(float(gaps["anneal"]))
+            obs.metrics().histogram("mapper.optimality_gap").observe(
+                float(gaps["engine"]))
+        records.append({
+            **row, "ii": iis, "proven_optimal": proven, "gaps": gaps,
+            "power_mw": {b: round(v, 3) for b, v in power.items()},
+            "exact_stats": bundles["exact"].backend_stats or {},
+        })
+    metrics = {
+        name: data for name, data in obs.metrics().snapshot().items()
+        if name.startswith("mapper.")
+    }
+    worst = max(series["gap engine"], default=0.0)
+    notes = [
+        f"exact backend proved the optimal II on {proofs}/"
+        f"{len(kernels)} kernels within {max_probes} probes; worst "
+        f"heuristic-engine gap on a proved kernel: {worst:.0f} II.",
+        "LB is the exact backend's sound lower bound (RecMII, "
+        "per-op duration, tile/memory capacity); engine II == LB is "
+        "an instant proof with zero search probes.",
+    ]
+    return ExperimentResult(
+        id="optimality",
+        title="Mapper optimality gaps (exact vs engine vs anneal)",
+        table=table,
+        series=series,
+        notes=notes,
+        data={"kernels": records, "metrics": metrics},
+    )

@@ -18,6 +18,24 @@ from repro.mapper.per_tile import assign_per_tile_dvfs, gate_unused_tiles
 from repro.mapper.island_refine import refine_island_levels
 from repro.mapper.anneal import anneal_mapping
 from repro.mapper.exhaustive import map_exhaustive
+from repro.mapper.exact import ExactStats, exact_lower_bound, map_exact
+from repro.mapper.backends import (
+    DEFAULT_PORTFOLIO,
+    EXPERIMENT_STRATEGIES,
+    KNOWN_STRATEGIES,
+    STRATEGY_ALIASES,
+    MapperBackend,
+    MappingResult,
+    backend_names,
+    describe_backends,
+    get_backend,
+    make_backend,
+    mapping_cost,
+    register_backend,
+    resolve_strategy,
+    select_best,
+    strategy_choices,
+)
 from repro.mapper.bitstream import Bitstream, generate_bitstream
 from repro.mapper.retime import retime_with_levels
 from repro.mapper.timing import TimingReport, compute_timing
@@ -37,6 +55,24 @@ __all__ = [
     "refine_island_levels",
     "anneal_mapping",
     "map_exhaustive",
+    "ExactStats",
+    "exact_lower_bound",
+    "map_exact",
+    "DEFAULT_PORTFOLIO",
+    "EXPERIMENT_STRATEGIES",
+    "KNOWN_STRATEGIES",
+    "STRATEGY_ALIASES",
+    "MapperBackend",
+    "MappingResult",
+    "backend_names",
+    "describe_backends",
+    "get_backend",
+    "make_backend",
+    "mapping_cost",
+    "register_backend",
+    "resolve_strategy",
+    "select_best",
+    "strategy_choices",
     "Bitstream",
     "generate_bitstream",
     "retime_with_levels",

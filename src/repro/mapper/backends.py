@@ -1,0 +1,423 @@
+"""Pluggable mapper backends behind one registry.
+
+Every way the repository can turn a DFG into a mapping — the heuristic
+engine, annealing refinement, the exhaustive brute-force, the exact
+branch-and-bound — is a :class:`MapperBackend`: a named, registered
+object with a uniform ``map(dfg, fabric, config) -> MappingResult``
+contract. The compile pipeline's ``place_route`` pass dispatches
+through this registry, the CLI's ``--backend`` flag and ``repro
+backends list`` read it, and the ``portfolio`` meta-backend races its
+members and keeps the best result.
+
+This module is also the single source of truth for the *strategy*
+vocabulary (the post-pass families the pipeline applies on top of a
+backend's placement): the CLI, the experiment harnesses and the
+benchmarks all derive their strategy lists from here instead of
+restating them.
+
+Determinism contract: a backend's ``map`` is a pure function of
+(DFG, fabric, config, its constructor options) — no wall-clock
+dependence unless the caller opts into a ``budget_s`` — and the
+portfolio's selection rule (:func:`select_best`) depends only on the
+member results and their precedence order, never on completion order.
+That is what makes ``--jobs N`` racing bit-identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+from repro.arch.cgra import CGRA
+from repro.dfg.analysis import DFGAnalysis
+from repro.dfg.graph import DFG
+from repro.errors import MappingError
+from repro.mapper.anneal import _cost as _anneal_cost
+from repro.mapper.anneal import anneal_mapping
+from repro.mapper.engine import EngineConfig, EngineStats, map_dfg
+from repro.mapper.exact import ExactStats, map_exact
+from repro.mapper.exhaustive import map_exhaustive
+from repro.mapper.mapping import Mapping
+
+# -- strategy vocabulary (single source of truth) ---------------------------
+
+#: Spelling aliases accepted anywhere a strategy is named.
+STRATEGY_ALIASES = {"per_tile": "per_tile_dvfs"}
+
+#: Every strategy the pipeline compiles.
+KNOWN_STRATEGIES = (
+    "baseline", "baseline+gating", "per_tile_dvfs", "iced", "anneal",
+)
+
+#: The strategies the paper-figure experiment sweeps compare.
+EXPERIMENT_STRATEGIES = (
+    "baseline", "baseline+gating", "per_tile_dvfs", "iced",
+)
+
+
+def strategy_choices() -> tuple[str, ...]:
+    """Canonical strategies plus accepted aliases (CLI ``choices=``)."""
+    return KNOWN_STRATEGIES + tuple(sorted(STRATEGY_ALIASES))
+
+
+def resolve_strategy(strategy: str) -> str:
+    """Canonicalize a strategy spelling; raises ``ValueError`` if unknown."""
+    strategy = STRATEGY_ALIASES.get(strategy, strategy)
+    if strategy not in KNOWN_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; known: {KNOWN_STRATEGIES}"
+        )
+    return strategy
+
+
+# -- the result contract ----------------------------------------------------
+
+
+def mapping_cost(mapping: Mapping) -> float:
+    """The repository's scalar mapping objective: total routed transit
+    plus active islands (the annealer's cost, public)."""
+    return _anneal_cost(mapping)
+
+
+@dataclass
+class MappingResult:
+    """What every backend returns: a mapping plus its quality record.
+
+    ``optimal`` asserts the II is *provably* minimal under the shared
+    feasibility model (exhaustive/exact backends only). ``stats`` holds
+    the backend's own search-effort counters under its native names —
+    namespacing for merged snapshots is the pipeline's job.
+    """
+
+    mapping: Mapping
+    backend: str
+    ii: int
+    cost: float
+    optimal: bool = False
+    stats: dict[str, int] = field(default_factory=dict)
+    wall_ms: float = 0.0
+
+    @classmethod
+    def wrap(cls, mapping: Mapping, backend: str, *,
+             optimal: bool = False,
+             stats: dict[str, int] | None = None,
+             wall_ms: float = 0.0) -> "MappingResult":
+        return cls(mapping=mapping, backend=backend, ii=mapping.ii,
+                   cost=mapping_cost(mapping), optimal=optimal,
+                   stats=dict(stats or {}), wall_ms=wall_ms)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable encoding (round-trips through :meth:`from_dict`)."""
+        return {
+            "mapping": self.mapping.to_dict(),
+            "backend": self.backend,
+            "ii": self.ii,
+            "cost": self.cost,
+            "optimal": self.optimal,
+            "stats": {str(k): int(v) for k, v in sorted(self.stats.items())},
+            "wall_ms": self.wall_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any], dfg: DFG,
+                  cgra: CGRA) -> "MappingResult":
+        return cls(
+            mapping=Mapping.from_dict(data["mapping"], dfg, cgra),
+            backend=str(data["backend"]),
+            ii=int(data["ii"]),
+            cost=float(data["cost"]),
+            optimal=bool(data["optimal"]),
+            stats={str(k): int(v) for k, v in data.get("stats", {}).items()},
+            wall_ms=float(data.get("wall_ms", 0.0)),
+        )
+
+    def fingerprint(self) -> dict[str, Any]:
+        """The jobs-independent identity of this result: everything in
+        :meth:`to_dict` except wall-clock and effort counters, which
+        legitimately vary run to run."""
+        d = self.to_dict()
+        d.pop("wall_ms")
+        d.pop("stats")
+        return d
+
+
+@runtime_checkable
+class MapperBackend(Protocol):
+    """The uniform contract every registered backend implements."""
+
+    name: str
+    proves_optimality: bool
+
+    def map(self, dfg: DFG, fabric: CGRA,
+            config: EngineConfig | None = None, *,
+            analysis: DFGAnalysis | None = None) -> MappingResult:
+        """Map ``dfg`` onto ``fabric``; raises ``MappingError`` on failure."""
+        ...
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(cls: type) -> type:
+    """Class decorator: make ``cls`` available under ``cls.name``."""
+    name = getattr(cls, "name", "")
+    if not name:
+        raise ValueError(f"backend class {cls.__name__} has no name")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every registered backend name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(name: str) -> type:
+    """The backend class registered under ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known: {backend_names()}"
+        ) from None
+
+
+def make_backend(name: str, **options: Any) -> MapperBackend:
+    """Instantiate the backend registered under ``name``."""
+    return get_backend(name)(**options)
+
+
+def describe_backends() -> list[dict[str, Any]]:
+    """One row per registered backend (``repro backends list``)."""
+    rows = []
+    for name in backend_names():
+        cls = _REGISTRY[name]
+        doc = (cls.__doc__ or "").strip().splitlines()
+        rows.append({
+            "name": name,
+            "proves_optimality": bool(cls.proves_optimality),
+            "summary": doc[0] if doc else "",
+        })
+    return rows
+
+
+# -- portfolio selection ----------------------------------------------------
+
+
+def select_best(results: list[tuple[int, MappingResult]]) -> MappingResult:
+    """The portfolio's deterministic winner among precedence-indexed
+    results.
+
+    A sequential portfolio run stops after the first member (in
+    precedence order) that *proves* optimality — later members never
+    run. A parallel run may complete later members anyway before
+    cancellation lands; to stay bit-identical, selection first truncates
+    at the lowest-precedence proven-optimal result and then takes the
+    minimum by (II, cost, precedence). The outcome therefore depends
+    only on the member list, never on completion order or job count.
+    """
+    if not results:
+        raise MappingError("portfolio produced no results")
+    proved = [idx for idx, r in results if r.optimal]
+    cutoff = min(proved) if proved else max(idx for idx, _ in results)
+    eligible = [(idx, r) for idx, r in results if idx <= cutoff]
+    _, winner = min(eligible, key=lambda ir: (ir[1].ii, ir[1].cost, ir[0]))
+    return winner
+
+
+# -- backends ---------------------------------------------------------------
+
+
+@register_backend
+class EngineBackend:
+    """The heuristic placement engine (Algorithm 2) — the default."""
+
+    name = "engine"
+    proves_optimality = False
+
+    def map(self, dfg: DFG, fabric: CGRA,
+            config: EngineConfig | None = None, *,
+            analysis: DFGAnalysis | None = None) -> MappingResult:
+        start = time.perf_counter()
+        stats = EngineStats()
+        mapping = map_dfg(dfg, fabric, config, analysis=analysis,
+                          stats=stats)
+        return MappingResult.wrap(
+            mapping, self.name, stats=stats.as_counters(),
+            wall_ms=(time.perf_counter() - start) * 1000.0,
+        )
+
+
+@register_backend
+class AnnealBackend:
+    """Engine placement refined by simulated annealing at fixed II."""
+
+    name = "anneal"
+    proves_optimality = False
+
+    def __init__(self, moves: int = 800, seed: int = 0):
+        self.moves = int(moves)
+        self.seed = int(seed)
+
+    def map(self, dfg: DFG, fabric: CGRA,
+            config: EngineConfig | None = None, *,
+            analysis: DFGAnalysis | None = None) -> MappingResult:
+        start = time.perf_counter()
+        engine_stats = EngineStats()
+        seeded = map_dfg(dfg, fabric, config, analysis=analysis,
+                         stats=engine_stats)
+        refined, anneal_stats = anneal_mapping(seeded, moves=self.moves,
+                                               seed=self.seed)
+        counters = engine_stats.as_counters()
+        counters["moves_tried"] = anneal_stats.moves_tried
+        counters["moves_accepted"] = anneal_stats.moves_accepted
+        return MappingResult.wrap(
+            refined, self.name, stats=counters,
+            wall_ms=(time.perf_counter() - start) * 1000.0,
+        )
+
+
+@register_backend
+class ExhaustiveBackend:
+    """Brute-force minimum-II search for tiny instances (ground truth)."""
+
+    name = "exhaustive"
+    proves_optimality = True
+
+    def __init__(self, max_ii: int = 8, max_probes: int = 400_000):
+        self.max_ii = int(max_ii)
+        self.max_probes = int(max_probes)
+
+    def map(self, dfg: DFG, fabric: CGRA,
+            config: EngineConfig | None = None, *,
+            analysis: DFGAnalysis | None = None) -> MappingResult:
+        start = time.perf_counter()
+        mapping, stats = map_exhaustive(dfg, fabric, max_ii=self.max_ii,
+                                        max_probes=self.max_probes)
+        # The search ascends from a sound lower bound, so the first
+        # feasible II is minimal by construction.
+        return MappingResult.wrap(
+            mapping, self.name, optimal=True,
+            stats={"probes": stats.probes, "backtracks": stats.backtracks},
+            wall_ms=(time.perf_counter() - start) * 1000.0,
+        )
+
+
+@register_backend
+class ExactBackend:
+    """Branch-and-bound exact modulo scheduling with optimality proofs."""
+
+    name = "exact"
+    proves_optimality = True
+
+    def __init__(self, max_probes: int = 500_000,
+                 budget_s: float | None = None):
+        self.max_probes = int(max_probes)
+        self.budget_s = float(budget_s) if budget_s is not None else None
+
+    def map(self, dfg: DFG, fabric: CGRA,
+            config: EngineConfig | None = None, *,
+            analysis: DFGAnalysis | None = None) -> MappingResult:
+        start = time.perf_counter()
+        stats = ExactStats()
+        mapping = map_exact(dfg, fabric, config, analysis=analysis,
+                            max_probes=self.max_probes,
+                            budget_s=self.budget_s, stats=stats)
+        return MappingResult.wrap(
+            mapping, self.name, optimal=stats.proved_optimal,
+            stats=stats.as_counters(),
+            wall_ms=(time.perf_counter() - start) * 1000.0,
+        )
+
+
+#: The portfolio's default member order (also its precedence order).
+DEFAULT_PORTFOLIO = ("engine", "anneal", "exact")
+
+
+@register_backend
+class PortfolioBackend:
+    """Races registered backends, keeps the best mapping per input.
+
+    Members run in precedence order; the run short-circuits as soon as
+    a member proves optimality (later members cannot improve the II,
+    and :func:`select_best` ignores them by construction). Individual
+    member failures (``MappingError``) are tolerated as long as one
+    member succeeds.
+    """
+
+    name = "portfolio"
+    proves_optimality = True
+
+    def __init__(self, members: tuple[str, ...] = DEFAULT_PORTFOLIO,
+                 budget_s: float | None = None,
+                 member_options: dict[str, dict] | None = None):
+        if isinstance(members, str):
+            members = tuple(m for m in members.split(",") if m)
+        self.members = tuple(members)
+        if not self.members:
+            raise ValueError("portfolio needs at least one member")
+        if self.name in self.members:
+            raise ValueError("portfolio cannot be its own member")
+        self.budget_s = float(budget_s) if budget_s is not None else None
+        self.member_options = {
+            k: dict(v) for k, v in (member_options or {}).items()
+        }
+        for member in self.members:
+            get_backend(member)  # fail fast on unknown names
+
+    def member_backend(self, member: str) -> MapperBackend:
+        options = dict(self.member_options.get(member, {}))
+        cls = get_backend(member)
+        if (self.budget_s is not None
+                and getattr(cls, "proves_optimality", False)
+                and "budget_s" not in options
+                and member != "exhaustive"):
+            options["budget_s"] = self.budget_s
+        return cls(**options)
+
+    def map(self, dfg: DFG, fabric: CGRA,
+            config: EngineConfig | None = None, *,
+            analysis: DFGAnalysis | None = None) -> MappingResult:
+        start = time.perf_counter()
+        results: list[tuple[int, MappingResult]] = []
+        stats: dict[str, int] = {}
+        errors: list[str] = []
+        for idx, member in enumerate(self.members):
+            backend = self.member_backend(member)
+            try:
+                result = backend.map(dfg, fabric, config,
+                                     analysis=analysis)
+            except MappingError as exc:
+                errors.append(f"{member}: {exc}")
+                stats[f"{member}.failed"] = 1
+                continue
+            results.append((idx, result))
+            stats[f"{member}.ii"] = result.ii
+            stats[f"{member}.optimal"] = int(result.optimal)
+            for key, value in result.stats.items():
+                if isinstance(value, int):
+                    stats[f"{member}.{key}"] = value
+            if result.optimal:
+                break  # no later member can improve the II
+        if not results:
+            raise MappingError(
+                f"every portfolio member failed on {dfg.name!r}: "
+                + "; ".join(errors)
+            )
+        winner = select_best(results)
+        proven = [r.ii for _, r in results if r.optimal]
+        optimal = bool(proven) and winner.ii == min(proven)
+        stats["winner_index"] = next(
+            idx for idx, r in results if r is winner
+        )
+        if proven:
+            for idx, r in results:
+                stats[f"{self.members[idx]}.gap"] = r.ii - min(proven)
+        return MappingResult(
+            mapping=winner.mapping, backend=self.name, ii=winner.ii,
+            cost=winner.cost, optimal=optimal, stats=stats,
+            wall_ms=(time.perf_counter() - start) * 1000.0,
+        )

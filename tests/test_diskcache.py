@@ -297,3 +297,117 @@ class TestHousekeeping:
         assert default_cache_root() == ".repro-cache"
         monkeypatch.setenv(ENV_CACHE_DIR, "/tmp/elsewhere")
         assert default_cache_root() == "/tmp/elsewhere"
+
+
+# -- backend tags and schema migration ----------------------------------------
+
+
+class TestBackendMigration:
+    """Envelopes grew additive ``backend``/``optimal``/``cost``/``ii``
+    fields. Legacy artifacts (written before the tag existed) must keep
+    working exactly as before — as engine artifacts — and must never be
+    served to a different backend's lookup."""
+
+    KEY = "ab" * 16
+
+    def test_legacy_untagged_artifact_serves_as_engine(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        blob = canon({"kernel": "fir", "ii": 4})
+        cache.store_serialized(self.KEY, blob)  # pre-tag writer
+        envelope = json.loads(cache._path(self.KEY).read_text())
+        assert "backend" not in envelope
+        assert cache.load_blob(self.KEY) == blob          # agnostic reader
+        assert cache.load_blob(self.KEY, "engine") == blob  # legacy == engine
+        assert cache._path(self.KEY).exists()
+
+    def test_legacy_artifact_quarantined_for_other_backend(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store_serialized(self.KEY, canon({"kernel": "fir"}))
+        assert cache.load_blob(self.KEY, "exact") is None
+        assert cache.stats.quarantined == 1
+        assert not cache._path(self.KEY).exists()  # moved aside
+        assert list(cache.quarantine_dir.iterdir())
+        # Quarantine is terminal: even the rightful reader misses now.
+        assert cache.load_blob(self.KEY, "engine") is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(key=hex_keys, payload=payloads,
+           tag=st.sampled_from(("engine", "anneal", "exact", "portfolio")))
+    def test_tagged_artifact_served_only_to_its_backend(self, key,
+                                                        payload, tag):
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = DiskCache(tmp)
+            cache.store_serialized(key, canon(payload), backend=tag)
+            assert cache.load_blob(key, tag) == canon(payload)
+            assert cache.load_blob(key) == canon(payload)  # agnostic
+            other = "exact" if tag != "exact" else "engine"
+            assert cache.load_blob(key, other) is None
+            assert cache.stats.quarantined == 1
+
+    def test_meta_round_trips_provenance_fields(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store_serialized(
+            self.KEY, canon({"kernel": "relu"}), backend="exact",
+            meta={"optimal": True, "cost": 25.0, "ii": 4},
+        )
+        assert cache.meta(self.KEY) == {
+            "backend": "exact", "optimal": True, "cost": 25.0, "ii": 4,
+        }
+        assert cache.meta("cd" * 16) == {}
+
+    def test_upgrade_best_replaces_only_strictly_better(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        first = canon({"v": "incumbent"})
+        assert cache.upgrade_best(self.KEY, first, backend="engine",
+                                  ii=5, cost=40.0)
+        # Equal rank and worse candidates leave the incumbent untouched.
+        for ii, cost in ((5, 40.0), (5, 41.0), (6, 10.0)):
+            assert not cache.upgrade_best(self.KEY, canon({"v": "worse"}),
+                                          backend="anneal", ii=ii,
+                                          cost=cost)
+        assert cache.load_blob(self.KEY) == first
+        assert "upgraded_from" not in cache.meta(self.KEY)
+        # Same II but strictly cheaper wins, and provenance survives.
+        better = canon({"v": "better"})
+        assert cache.upgrade_best(self.KEY, better, backend="exact",
+                                  ii=5, cost=25.0, optimal=True)
+        assert cache.load_blob(self.KEY) == better
+        meta = cache.meta(self.KEY)
+        assert meta["backend"] == "exact" and meta["optimal"]
+        assert meta["upgraded_from"] == {
+            "backend": "engine", "ii": 5, "cost": 40.0,
+        }
+
+    def test_memory_cache_upgrade_best_matches_disk_semantics(self):
+        cache = MappingCache()
+        first = canon({"v": "incumbent"})
+        assert cache.upgrade_best(self.KEY, first, backend="engine",
+                                  ii=5, cost=40.0)
+        assert not cache.upgrade_best(self.KEY, canon({"v": "worse"}),
+                                      backend="anneal", ii=5, cost=40.0)
+        assert cache.serialized(self.KEY) == first
+        assert cache.upgrade_best(self.KEY, canon({"v": "better"}),
+                                  backend="exact", ii=4, cost=99.0)
+        meta = cache.meta(self.KEY)
+        assert meta["ii"] == 4
+        assert meta["upgraded_from"]["backend"] == "engine"
+
+    def test_memory_lookup_respects_backend_tag(self, baseline_fir,
+                                                fir_dfg, cgra66):
+        cache = MappingCache()
+        cache.store(self.KEY, baseline_fir, backend="exact")
+        assert cache.lookup(self.KEY, fir_dfg, cgra66, "exact") is not None
+        assert cache.lookup(self.KEY, fir_dfg, cgra66) is not None
+        assert cache.lookup(self.KEY, fir_dfg, cgra66, "engine") is None
+
+    def test_tiered_lookup_respects_backend_tag(self, tmp_path,
+                                                baseline_fir, fir_dfg,
+                                                cgra66):
+        disk = DiskCache(tmp_path)
+        disk.store_serialized(self.KEY, canon(baseline_fir.to_dict()),
+                              backend="exact")
+        tiered = TieredCache(MappingCache(), disk)
+        assert tiered.lookup(self.KEY, fir_dfg, cgra66,
+                             "engine") is None  # quarantined on disk
+        fresh = TieredCache(MappingCache(), DiskCache(tmp_path))
+        assert fresh.lookup(self.KEY, fir_dfg, cgra66, "exact") is None

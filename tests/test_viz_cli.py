@@ -118,9 +118,16 @@ class TestProfileCommand:
         assert main(["profile", "relu", "--strategy", "baseline",
                      "--cgra", "4x4", "--top", "5"]) == 0
         out = capsys.readouterr().out
-        assert "relu (baseline)" in out
+        assert "relu (baseline, backend=engine)" in out
         assert "cumulative" in out
         assert "map_dfg" in out or "engine.py" in out
+
+    def test_profile_exact_backend(self, capsys):
+        assert main(["profile", "relu", "--strategy", "iced",
+                     "--cgra", "4x4", "--backend", "exact",
+                     "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=exact" in out
 
 
 class TestCacheEffortCommand:
