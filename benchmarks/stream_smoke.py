@@ -1,6 +1,7 @@
 """Streaming-runtime smoke check for CI.
 
-Runs the Fig 13 GCN stream (ENZYMES-statistics synthetic inputs) at
+Runs one traffic scenario (default ``enzyme``, the Fig 13 GCN stream —
+pick another with ``--scenario``, see ``repro scenarios list``) at
 10^5 inputs through both streaming engines and all three strategies
 (iced / drips / static), then scales the fast engine to a 10^6-input
 stream under a memory budget:
@@ -37,8 +38,9 @@ show up as artifact diffs.
 Usage::
 
     PYTHONPATH=src python benchmarks/stream_smoke.py [--inputs N]
-        [--window W] [--baseline BENCH_stream.json --max-regression 0.25]
-        [--trace FILE]
+        [--scenario NAME] [--window W] [--min-speedup X]
+        [--baseline BENCH_stream.json --max-regression 0.25]
+        [--envelope-out FILE] [--trace FILE]
 """
 
 from __future__ import annotations
@@ -52,19 +54,20 @@ from dataclasses import asdict
 
 from repro.streaming import (
     DVFSController,
-    EnzymeGraphStream,
     fast_simulate_drips,
     fast_simulate_static,
     fast_simulate_stream,
-    gcn_app,
     inputs_of,
+    make_scenario,
     partition_app,
+    scenario_envelope,
     simulate_drips,
     simulate_static,
     simulate_stream,
     skip_blocks,
     streaming_cgra,
     take_inputs,
+    write_envelope,
 )
 
 MIN_FAST_SPEEDUP = 10.0
@@ -141,10 +144,11 @@ def run_pair(name: str, partition, run_inputs, stream, window: int) -> dict:
     }
 
 
-def run_million(partition, window: int, million_inputs: int) -> dict:
+def run_million(partition, window: int, million_inputs: int,
+                scenario_name: str) -> dict:
     """Fast ICED over a lazy 10^6-input stream: timed run, then a
     tracemalloc run for the constant-memory evidence."""
-    stream = EnzymeGraphStream(num_graphs=million_inputs)
+    stream = make_scenario(scenario_name, n=million_inputs).stream
 
     def one_run():
         controller = _controller(partition, window, record_decisions=False)
@@ -179,8 +183,20 @@ def run_million(partition, window: int, million_inputs: int) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_stream.json")
+    parser.add_argument("--scenario", default="enzyme",
+                        help="traffic scenario to stream (see "
+                             "`repro scenarios list`)")
     parser.add_argument("--inputs", type=int, default=100_000,
                         help="stream length for the engine A/B")
+    parser.add_argument("--min-speedup", type=float,
+                        default=MIN_FAST_SPEEDUP,
+                        help="required fast-vs-reference ICED speedup "
+                             "(sequential-fallback scenarios warrant a "
+                             "lower bar)")
+    parser.add_argument("--envelope-out", default=None, metavar="FILE",
+                        help="also write this scenario's energy/latency "
+                             "envelope (default envelope parameters, "
+                             "reusing the partition)")
     parser.add_argument("--million-inputs", type=int, default=1_000_000,
                         help="stream length for the constant-memory run")
     parser.add_argument("--window", type=int, default=100,
@@ -195,11 +211,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a Chrome trace of one fast ICED run")
     args = parser.parse_args(argv)
 
-    stream = EnzymeGraphStream(num_graphs=args.inputs)
+    scenario = make_scenario(args.scenario, n=args.inputs)
+    stream = scenario.stream
     partition = partition_app(
-        gcn_app(), streaming_cgra(),
+        scenario.app, streaming_cgra(),
         take_inputs(stream.feature_blocks(), PROFILE_INPUTS),
     )
+    print(f"scenario: {scenario.name} (app {scenario.app.name}, "
+          f"seed {scenario.seed})")
     print(partition.summary())
     run_inputs = inputs_of(
         skip_blocks(stream.feature_blocks(), PROFILE_INPUTS)
@@ -209,7 +228,13 @@ def main(argv: list[str] | None = None) -> int:
         name: run_pair(name, partition, run_inputs, stream, args.window)
         for name in ("iced", "drips", "static")
     }
-    million = run_million(partition, args.window, args.million_inputs)
+    million = run_million(partition, args.window, args.million_inputs,
+                          args.scenario)
+
+    if args.envelope_out:
+        envelope = scenario_envelope(args.scenario, partition=partition)
+        write_envelope(envelope, args.envelope_out)
+        print(f"envelope -> {args.envelope_out}")
 
     if args.trace:
         from repro import obs
@@ -230,10 +255,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"trace: {events} events -> {args.trace}")
 
     payload = {
-        "app": "gcn",
+        "app": scenario.app.name,
+        "scenario": scenario.name,
         "inputs": args.inputs,
         "window": args.window,
-        "min_fast_speedup": MIN_FAST_SPEEDUP,
+        "min_fast_speedup": args.min_speedup,
         "strategies": strategies,
         "million": million,
     }
@@ -249,9 +275,9 @@ def main(argv: list[str] | None = None) -> int:
               f"{not_identical}", file=sys.stderr)
         failed = True
     iced_speedup = strategies["iced"]["speedup"]
-    if iced_speedup < MIN_FAST_SPEEDUP:
+    if iced_speedup < args.min_speedup:
         print(f"FAIL: fast ICED only {iced_speedup:.1f}x faster than the "
-              f"reference (need >= {MIN_FAST_SPEEDUP}x)", file=sys.stderr)
+              f"reference (need >= {args.min_speedup}x)", file=sys.stderr)
         failed = True
     if million["peak_mem_mb"] >= MAX_MILLION_PEAK_MB:
         print(f"FAIL: million-input run peaked at "

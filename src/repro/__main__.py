@@ -6,6 +6,9 @@ Usage::
     python -m repro fabric --cgra 8x8 --island 2x2
     python -m repro map fir --strategy iced --show schedule,levels
     python -m repro stream gcn --inputs 80 --jobs 4
+    python -m repro stream --scenario bursty --inputs 500
+    python -m repro scenarios list                # traffic regimes
+    python -m repro scenarios table               # iced/drips/static table
     python -m repro trace fir -o trace.json       # Chrome/Perfetto trace
     python -m repro experiments fig9 --jobs 4     # same as -m repro.experiments
     python -m repro profile fir --strategy iced   # cProfile one cold compile
@@ -184,6 +187,7 @@ def cmd_stream(args) -> int:
     from repro.streaming.drips import fast_simulate_drips, simulate_drips
     from repro.streaming.engine import fast_simulate_stream, simulate_stream
     from repro.streaming.partitioner import partition_app, streaming_cgra
+    from repro.streaming.scenarios import make_scenario
     from repro.streaming.stage import inputs_of
     from repro.streaming.workloads import (
         EnzymeGraphStream,
@@ -192,12 +196,28 @@ def cmd_stream(args) -> int:
         take_inputs,
     )
 
-    if args.app == "gcn":
+    if args.scenario:
+        from repro.errors import ScenarioError
+
+        try:
+            scenario = make_scenario(args.scenario, seed=args.seed,
+                                     n=args.inputs)
+        except ScenarioError as exc:
+            print(f"stream: {exc}", file=sys.stderr)
+            return 2
+        app, workload = scenario.app, scenario.stream
+        print(f"scenario: {scenario.name} (seed {scenario.seed}, "
+              f"app {app.name})")
+    elif args.app == "gcn":
         app = gcn_app()
         workload = EnzymeGraphStream(num_graphs=args.inputs)
-    else:
+    elif args.app == "lu":
         app = lu_app()
         workload = SparseMatrixStream(num_matrices=args.inputs)
+    else:
+        print("stream: pass an app (gcn/lu) or --scenario NAME",
+              file=sys.stderr)
+        return 2
     fabric = streaming_cgra()
     # The partitioner profiles the first inputs (the paper uses 50);
     # cap the prefix so a million-input run doesn't profile a third of
@@ -271,6 +291,56 @@ def cmd_stream(args) -> int:
     if args.stats:
         print()
         print(render_report(instrument.events, get_cache().stats_dict()))
+    return 0
+
+
+def cmd_scenarios(args) -> int:
+    """List the traffic-scenario registry, or print the cross-scenario
+    strategy table (iced/drips/static energy + p99 latency)."""
+    import json as _json
+
+    from repro.streaming.envelopes import STRATEGIES, scenario_envelope
+    from repro.streaming.scenarios import describe_scenarios
+
+    if args.action == "list":
+        rows = describe_scenarios()
+        width = max(len(r["name"]) for r in rows)
+        print(f"{'scenario':<{width + 2}}{'app':<9}description")
+        for row in rows:
+            print(f"{row['name']:<{width + 2}}{row['app']:<9}"
+                  f"{row['description']}")
+        return 0
+
+    from repro.errors import ScenarioError
+
+    names = (args.only.split(",") if args.only
+             else [r["name"] for r in describe_scenarios()])
+    envelopes = {}
+    for name in names:
+        try:
+            envelopes[name] = scenario_envelope(
+                name, seed=args.seed, inputs=args.inputs,
+                window=args.window, use_cache=not args.no_cache,
+                jobs=args.jobs,
+            )
+        except ScenarioError as exc:
+            print(f"scenarios: {exc}", file=sys.stderr)
+            return 2
+    if args.json:
+        print(_json.dumps(envelopes, indent=2, sort_keys=True))
+        return 0
+    width = max(len(n) for n in names)
+    print(f"{'scenario':<{width + 2}}{'strategy':<9}"
+          f"{'energy (uJ)':>12}{'p99 lat (cyc)':>15}"
+          f"{'p50 lat (cyc)':>15}{'thr (in/kcyc)':>15}")
+    for name in names:
+        for strategy in STRATEGIES:
+            entry = envelopes[name]["strategies"][strategy]
+            print(f"{name:<{width + 2}}{strategy:<9}"
+                  f"{entry['energy_uj']:>12.1f}"
+                  f"{entry['p99_latency_cycles']:>15.1f}"
+                  f"{entry['p50_latency_cycles']:>15.1f}"
+                  f"{entry['throughput_inputs_per_kcycle']:>15.4f}")
     return 0
 
 
@@ -452,7 +522,15 @@ def main(argv: list[str] | None = None) -> int:
                               "of the compile")
 
     stream = sub.add_parser("stream", help="run a streaming application")
-    stream.add_argument("app", choices=("gcn", "lu"))
+    stream.add_argument("app", nargs="?", choices=("gcn", "lu"),
+                        help="built-in app (or pick a traffic regime "
+                             "with --scenario)")
+    stream.add_argument("--scenario", default=None,
+                        help="run a registered traffic scenario instead "
+                             "of a bare app (see `repro scenarios list`)")
+    stream.add_argument("--seed", type=int, default=None,
+                        help="scenario stream seed (default: the "
+                             "scenario's registered seed)")
     stream.add_argument("--inputs", type=int, default=60,
                         help="synthetic stream length (scales to 10^6+ "
                              "on the fast engine)")
@@ -475,6 +553,25 @@ def main(argv: list[str] | None = None) -> int:
     stream.add_argument("--trace", default=None, metavar="FILE",
                         help="write a Chrome trace (.jsonl for JSONL) of "
                              "the partition + streaming run")
+
+    scenarios = sub.add_parser(
+        "scenarios", help="traffic-scenario registry and the "
+                          "cross-scenario strategy table"
+    )
+    scenarios.add_argument("action", choices=("list", "table"))
+    scenarios.add_argument("--inputs", type=int, default=240,
+                           help="stream length per scenario (table)")
+    scenarios.add_argument("--seed", type=int, default=None,
+                           help="override every scenario's seed (table)")
+    scenarios.add_argument("--window", type=int, default=10)
+    scenarios.add_argument("--only", default="",
+                           help="comma list of scenarios (default: all)")
+    scenarios.add_argument("--json", action="store_true",
+                           help="print raw envelopes instead of a table")
+    scenarios.add_argument("--jobs", type=int, default=1,
+                           help="processes for the II-table probes")
+    scenarios.add_argument("--no-cache", action="store_true",
+                           help="bypass the mapping cache")
 
     trace_cmd = sub.add_parser(
         "trace", help="trace one kernel end to end (compile, simulate, "
@@ -552,6 +649,7 @@ def main(argv: list[str] | None = None) -> int:
         "fabric": cmd_fabric,
         "map": cmd_map,
         "stream": cmd_stream,
+        "scenarios": cmd_scenarios,
         "trace": cmd_trace,
         "experiments": cmd_experiments,
         "profile": cmd_profile,

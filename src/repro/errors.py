@@ -49,3 +49,11 @@ class StreamingError(IcedError):
 
 class PartitionError(StreamingError):
     """No feasible island partition exists for a streaming application."""
+
+
+class ScenarioError(StreamingError):
+    """An unknown or misconfigured traffic scenario was requested."""
+
+
+class TraceFormatError(StreamingError):
+    """A replayed trace file violates the expected CSV schema."""

@@ -15,6 +15,12 @@ Two simulation engines share one contract (see
 the window-batched vectorized fast engine (``fast_simulate_*``), which
 produces float-identical results while streaming million-input runs in
 O(window) memory from lazy ``FeatureBlock`` chunks.
+
+The traffic-scenario library (``repro.streaming.scenarios``) names
+workload regimes — diurnal, bursty, phase-shifting, trace replay,
+control-flow-heavy — and ``repro.streaming.envelopes`` turns each into
+a per-strategy energy/latency envelope gated by committed goldens
+(``docs/streaming_scenarios.md``).
 """
 
 from repro.streaming.stage import (
@@ -25,12 +31,32 @@ from repro.streaming.stage import (
     blocks_of,
     inputs_of,
 )
-from repro.streaming.app import StreamingApp, gcn_app, lu_app
+from repro.streaming.app import StreamingApp, branchy_app, gcn_app, lu_app
 from repro.streaming.workloads import (
     EnzymeGraphStream,
+    SegmentedWorkload,
     SparseMatrixStream,
     skip_blocks,
     take_inputs,
+)
+from repro.streaming.scenarios import (
+    Scenario,
+    ScenarioSpec,
+    TraceReplayStream,
+    describe_scenarios,
+    get_scenario,
+    make_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.streaming.envelopes import (
+    STRATEGIES,
+    all_envelopes,
+    compare_envelopes,
+    load_envelope,
+    scenario_envelope,
+    summarize_result,
+    write_envelope,
 )
 from repro.streaming.partitioner import Partition, partition_app, streaming_cgra
 from repro.streaming.controller import DVFSController
@@ -56,12 +82,29 @@ __all__ = [
     "blocks_of",
     "inputs_of",
     "StreamingApp",
+    "branchy_app",
     "gcn_app",
     "lu_app",
     "EnzymeGraphStream",
+    "SegmentedWorkload",
     "SparseMatrixStream",
     "skip_blocks",
     "take_inputs",
+    "Scenario",
+    "ScenarioSpec",
+    "TraceReplayStream",
+    "describe_scenarios",
+    "get_scenario",
+    "make_scenario",
+    "register_scenario",
+    "scenario_names",
+    "STRATEGIES",
+    "all_envelopes",
+    "compare_envelopes",
+    "load_envelope",
+    "scenario_envelope",
+    "summarize_result",
+    "write_envelope",
     "Partition",
     "partition_app",
     "streaming_cgra",

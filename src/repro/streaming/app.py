@@ -1,4 +1,5 @@
-"""The two evaluated streaming applications: a 2-layer GCN and LU.
+"""The evaluated streaming applications: a 2-layer GCN, LU, and a
+control-flow-heavy pipeline (``branchy_app``) for the scenario library.
 
 Stage graphs follow the paper (Table I's island column and section V):
 
@@ -59,9 +60,12 @@ class StreamingApp:
 
 
 def _stage(name: str, model, islands: int, unroll: int = 1,
-           instance: str = "", batch_model=None) -> KernelStage:
+           instance: str = "", batch_model=None,
+           alias: str = "") -> KernelStage:
     dfg = load_kernel(name, unroll)
-    if instance:
+    if alias:
+        dfg = dfg.copy(name=alias)
+    elif instance:
         dfg = dfg.copy(name=f"{name}.{instance}")
     return KernelStage(
         name=dfg.name, dfg=dfg, iteration_model=model,
@@ -100,6 +104,62 @@ def _solver0_batch(block):
     # engine matters more here than one vectorized op.
     n = block.get("n")
     return np.array([v ** 1.5 for v in n.tolist()], dtype=np.float64) * 0.9
+
+
+def _predicated_model(item):
+    # If-converted nested conditional under *partial predication*: the
+    # fabric executes both branch arms every outer iteration and
+    # selects, so the per-iteration cost is the max of the arm trip
+    # counts (heavy arm scales with the input's nesting depth, light
+    # arm is constant).
+    return item.get("outer") * max(item.get("depth") * 4.0, 6.0)
+
+
+def _predicated_batch(block):
+    # np.maximum is an exact elementwise float64 select — bit-identical
+    # to the scalar max() per row (no NaNs in these features).
+    return block.get("outer") * np.maximum(block.get("depth") * 4.0, 6.0)
+
+
+def branchy_app(unroll: int = 1) -> StreamingApp:
+    """A control-flow-heavy pipeline stressing partial predication.
+
+    Models the MLIR control-flow CGRA workload class (PAPERS.md):
+    kernels whose per-input work is dominated by nested conditionals
+    and irregular loops rather than dense array arithmetic. Inputs
+    carry three features — ``outer`` (outer-loop trip count), ``taken``
+    (fraction of iterations taking the heavy branch) and ``depth``
+    (data-dependent inner nesting) — and the four kernels translate
+    them differently:
+
+    * ``cond_scan`` — if-converted conditional, both arms execute
+      (partial predication): cost is the *max* of the arm trip counts;
+    * ``branch_mix`` — branch-skipping form of the same conditional:
+      only the taken fraction pays the heavy arm;
+    * ``irregular`` — triangular inner loop (trip count grows with the
+      iteration index), the classic irregular-loop iteration model;
+    * ``merge`` — a regular tail stage.
+
+    The split between ``cond_scan`` (predication pays for rarely-taken
+    branches) and ``branch_mix`` (skipping pays for frequently-taken
+    ones) is what shifts the bottleneck with ``taken`` — the
+    control-flow analogue of the GCN's sparse/dense shift.
+    """
+    return StreamingApp(name="branchy", stages=[
+        [_stage("fir", _predicated_model, 1, unroll, alias="cond_scan",
+                batch_model=_predicated_batch)],
+        [
+            _stage("relu",
+                   lambda x: x.get("outer") * (1.0 + 7.0 * x.get("taken")),
+                   2, unroll, alias="branch_mix"),
+            _stage("histogram",
+                   lambda x: x.get("outer") * (x.get("depth") + 1.0)
+                   * x.get("depth") * 0.5,
+                   2, unroll, alias="irregular"),
+        ],
+        [_stage("pooling", lambda x: x.get("outer") * 2.0, 1, unroll,
+                alias="merge")],
+    ])
 
 
 def lu_app(unroll: int = 1) -> StreamingApp:

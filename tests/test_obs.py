@@ -324,6 +324,46 @@ class TestStreamingMetrics:
         )
 
 
+class TestScenarioMetrics:
+    """Satellite: the ``scenario`` span carries ``streaming.scenario``
+    and the envelope harness emits per-scenario energy/latency gauges."""
+
+    def _fake_partition(self, app):
+        placements = [_StreamPlacement(k, ii=2) for k in app.all_kernels()]
+        partition = _StreamPartition(app, placements)
+        partition.ii_table = {
+            (k.name, islands): 2 for k in app.all_kernels() for islands in (1, 2, 3)
+        }
+        return partition
+
+    def _envelope(self):
+        from repro.streaming import make_scenario, scenario_envelope
+
+        app = make_scenario("branchy", n=30).app
+        return scenario_envelope(
+            "branchy", inputs=30, partition=self._fake_partition(app)
+        )
+
+    def test_scenario_span_attribute(self, tracer, registry):
+        self._envelope()
+        span = next(s for s in tracer.spans if s.name == "scenario")
+        assert span.category == "streaming"
+        assert span.attrs["streaming.scenario"] == "branchy"
+        assert span.attrs["streaming.inputs"] == 30
+
+    def test_per_scenario_energy_and_latency_gauges(self, tracer, registry):
+        envelope = self._envelope()
+        snap = registry.snapshot()
+        assert snap["streaming.energy_mj"]["value"] > 0
+        assert snap["streaming.p99_latency"]["value"] > 0
+        for strategy in ("iced", "drips", "static"):
+            energy = snap[f"streaming.energy_mj.branchy.{strategy}"]["value"]
+            p99 = snap[f"streaming.p99_latency.branchy.{strategy}"]["value"]
+            entry = envelope["strategies"][strategy]
+            assert energy == pytest.approx(entry["energy_uj"] / 1e3)
+            assert p99 == pytest.approx(entry["p99_latency_cycles"])
+
+
 class TestParallelTraceMerge:
     KERNELS = ("fir", "relu")
 

@@ -33,6 +33,8 @@ from repro.streaming import (  # noqa: E402
     fast_simulate_drips,
     fast_simulate_static,
     fast_simulate_stream,
+    make_scenario,
+    scenario_names,
     simulate_drips,
     simulate_static,
     simulate_stream,
@@ -168,5 +170,66 @@ def test_static_differential(scenario):
     fast = fast_simulate_static(partition,
                                 blocks_of(inputs, block_size)
                                 if inputs else [],
+                                window=window)
+    assert asdict(ref) == asdict(fast)
+
+
+# ---------------------------------------------------------------------------
+# Registered traffic scenarios: every scenario's real application and
+# real feature stream, fast vs scalar, under arbitrary windows and
+# chunkings. The partition stays fake (drawn IIs/island counts) so the
+# suite covers all scenario apps without paying for kernel mapping —
+# the engines never look past the placement table.
+
+
+@st.composite
+def traffic_cases(draw):
+    name = draw(st.sampled_from(scenario_names()))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    n = draw(st.integers(min_value=0, max_value=60))
+    scenario = make_scenario(name, seed=seed, n=n)
+    placements = []
+    ii_table = {}
+    for kernel in scenario.app.all_kernels():
+        ii = draw(st.integers(min_value=1, max_value=8))
+        islands = draw(st.integers(min_value=1, max_value=2))
+        placements.append(FakePlacement(kernel, islands, ii))
+        for k in (1, 2, 3):
+            ii_table[(kernel.name, k)] = max(1, ii + 1 - k)
+    partition = FakePartition(scenario.app, placements, ii_table)
+    window = draw(st.sampled_from([1, 3, 10, _VECTOR_WINDOW_MIN]))
+    block_size = draw(st.sampled_from([1, 7, 64, 8192]))
+    return scenario, partition, window, block_size
+
+
+@settings(max_examples=21, **COMMON)
+@given(traffic_cases())
+def test_scenario_differential_all_strategies(case):
+    scenario, partition, window, block_size = case
+    inputs = scenario.generate()
+    names = [p.kernel.name for p in partition.placements]
+
+    ref_ctl = DVFSController(dvfs=CGRA.dvfs, kernel_names=names,
+                             window=window)
+    fast_ctl = DVFSController(dvfs=CGRA.dvfs, kernel_names=names,
+                              window=window)
+    ref = simulate_stream(partition, inputs, window=window,
+                          controller=ref_ctl)
+    fast = fast_simulate_stream(partition,
+                                scenario.feature_blocks(block_size),
+                                window=window, controller=fast_ctl)
+    assert asdict(ref) == asdict(fast)
+    assert ref_ctl.decisions == fast_ctl.decisions
+    assert ref_ctl.levels == fast_ctl.levels
+
+    ref = simulate_drips(partition, inputs, window=window)
+    fast = fast_simulate_drips(partition,
+                               scenario.feature_blocks(block_size),
+                               window=window)
+    assert asdict(ref) == asdict(fast)
+
+    ref = simulate_static(partition, inputs, window=window)
+    fast = fast_simulate_static(partition,
+                                scenario.feature_blocks(block_size),
                                 window=window)
     assert asdict(ref) == asdict(fast)

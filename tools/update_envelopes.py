@@ -1,0 +1,51 @@
+"""Regenerate the committed golden envelopes under tests/envelopes/.
+
+Run after a deliberate model change shifts per-strategy energy/latency:
+
+    PYTHONPATH=src python tools/update_envelopes.py [--only a,b]
+
+Goldens are canonical JSON (sorted keys, trailing newline), one file
+per scenario, produced with the default envelope parameters — the same
+ones ``tests/test_scenarios.py`` recomputes against. Review the diff
+before committing: an unexplained change in a strategy you did not
+touch is a regression, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.streaming.envelopes import (  # noqa: E402
+    envelope_path,
+    scenario_envelope,
+    write_envelope,
+)
+from repro.streaming.scenarios import scenario_names  # noqa: E402
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "envelopes"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--only", default="",
+                        help="comma list of scenarios (default: all)")
+    parser.add_argument("--jobs", type=int, default=1)
+    args = parser.parse_args(argv)
+    names = args.only.split(",") if args.only else scenario_names()
+    for name in names:
+        envelope = scenario_envelope(name, jobs=args.jobs)
+        path = envelope_path(GOLDEN_DIR, name)
+        write_envelope(envelope, path)
+        iced = envelope["strategies"]["iced"]
+        print(f"{name:<14} -> {path.relative_to(GOLDEN_DIR.parent.parent)}"
+              f"  iced={iced['energy_uj']:.1f}uJ "
+              f"p99={iced['p99_latency_cycles']:.0f}cyc")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
