@@ -14,6 +14,7 @@ Usage::
     python -m repro profile fir --strategy iced   # cProfile one cold compile
     python -m repro cache stats                   # on-disk mapping cache
     python -m repro backends list                 # registered mapper backends
+    python -m repro dse --fabrics 4x4,6x6 --vf 3,4  # Pareto design sweep
     python -m repro map fir --backend exact       # provably optimal II
     python -m repro map fir --portfolio --jobs 3  # race the backends
 """
@@ -32,6 +33,7 @@ from repro.compile import (
     compile_kernel,
     compile_portfolio,
     get_cache,
+    render_per_ii,
     render_report,
 )
 from repro.kernels.suite import kernel_names
@@ -176,6 +178,10 @@ def cmd_map(args) -> int:
     if args.stats:
         print()
         print(render_report(instrument.events, get_cache().stats_dict()))
+        if result.engine_stats is not None and result.engine_stats.per_ii:
+            print()
+            print("engine effort per II attempt:")
+            print(render_per_ii(result.engine_stats.per_ii))
     return 0
 
 
@@ -421,6 +427,15 @@ def cmd_cache(args) -> int:
     width = max(len(k) for k in stats)
     for key, value in stats.items():
         print(f"{key:<{width}}  {value}")
+    if args.action in ("stats", "gc"):
+        footprint = cache.sweep_footprint()
+        tagged = {k: v for k, v in footprint.items() if k != "(untagged)"}
+        if tagged:
+            print("per-sweep footprint:")
+            for label in sorted(footprint):
+                row = footprint[label]
+                print(f"  {label:<18}  {row['artifacts']:>6} artifacts  "
+                      f"{row['bytes']:>10} bytes")
     if args.action == "stats":
         effort = cache.engine_effort()
         if effort.get("artifacts_with_stats"):
@@ -428,6 +443,44 @@ def cmd_cache(args) -> int:
             ewidth = max(len(k) for k in effort)
             for key in sorted(effort):
                 print(f"  {key:<{ewidth}}  {effort[key]}")
+    return 0
+
+
+def cmd_dse(args) -> int:
+    """Sweep a declarative design space and print its Pareto frontier."""
+    import json
+
+    from repro.dse import DesignSpace, render_summary, run_dse, write_result
+
+    if args.space:
+        with open(args.space, encoding="utf-8") as fh:
+            space = DesignSpace.from_dict(json.load(fh))
+    else:
+        def shapes(text):
+            return tuple(_parse_shape(s) for s in text.split(","))
+
+        space = DesignSpace(
+            name=args.name,
+            fabrics=shapes(args.fabrics),
+            islands=shapes(args.islands),
+            topologies=tuple(args.topologies.split(",")),
+            vf_levels=tuple(int(v) for v in args.vf.split(",")),
+            strategies=tuple(args.strategies.split(",")),
+            kernels=tuple(args.kernels.split(",")),
+            unroll=args.unroll,
+            iterations=args.iterations,
+        )
+    with _tracing(args.trace):
+        result = run_dse(space, jobs=args.jobs,
+                         cache_dir=args.cache_dir, seed=args.seed,
+                         naive=args.naive)
+    if args.json:
+        print(json.dumps(result, sort_keys=True, indent=2))
+    else:
+        print(render_summary(result, top=args.top))
+    if args.out:
+        write_result(result, args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -470,6 +523,9 @@ def cmd_profile(args) -> int:
     print(f"{args.kernel} ({args.strategy}, backend={args.backend}) "
           f"on {cgra.name}: II={result.mapping.ii}")
     print(stream.getvalue())
+    if result.engine_stats is not None and result.engine_stats.per_ii:
+        print("engine effort per II attempt:")
+        print(render_per_ii(result.engine_stats.per_ii))
     return 0
 
 
@@ -631,6 +687,46 @@ def main(argv: list[str] | None = None) -> int:
     )
     backends.add_argument("action", choices=("list",))
 
+    dse = sub.add_parser(
+        "dse",
+        help="sweep a design space, emit energy/makespan/area Pareto "
+             "frontiers (see docs/dse.md)",
+    )
+    dse.add_argument("--space", default=None, metavar="FILE",
+                     help="design space as JSON (overrides axis flags)")
+    dse.add_argument("--name", default="cli")
+    dse.add_argument("--fabrics", default="4x4,6x6,8x8",
+                     help="comma-separated fabric dims, e.g. 4x4,8x8")
+    dse.add_argument("--islands", default="2x2",
+                     help="comma-separated island shapes, e.g. 2x2,1x1")
+    dse.add_argument("--topologies", default="mesh",
+                     help="comma-separated: mesh, torus, king")
+    dse.add_argument("--vf", default="3",
+                     help="comma-separated V/F table depths, e.g. 3,4")
+    dse.add_argument("--strategies", default="baseline,iced")
+    dse.add_argument("--kernels", default="fir,latnrm,mvt,spmv")
+    dse.add_argument("--unroll", type=int, default=1)
+    dse.add_argument("--iterations", type=int, default=1024,
+                     help="steady-state iterations the makespan models")
+    dse.add_argument("--jobs", type=int, default=1,
+                     help="compile points on a process pool "
+                          "(deterministic: results match --jobs 1)")
+    dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--cache-dir", default=None,
+                     help="share an on-disk mapping cache across runs "
+                          "and pool workers (default: in-memory only)")
+    dse.add_argument("--naive", action="store_true",
+                     help="disable all cross-point reuse (benchmark "
+                          "baseline; results are identical, just slow)")
+    dse.add_argument("--out", default=None, metavar="FILE",
+                     help="write the canonical result JSON here")
+    dse.add_argument("--top", type=int, default=10,
+                     help="frontier rows to print")
+    dse.add_argument("--json", action="store_true",
+                     help="print the full result document as JSON")
+    dse.add_argument("--trace", default=None, metavar="FILE",
+                     help="write a Chrome/Perfetto trace of the sweep")
+
     cache = sub.add_parser(
         "cache", help="inspect the persistent on-disk mapping cache"
     )
@@ -655,6 +751,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "cache": cmd_cache,
         "backends": cmd_backends,
+        "dse": cmd_dse,
     }
     return handlers[args.command](args)
 

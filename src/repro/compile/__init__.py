@@ -29,6 +29,7 @@ from repro.compile.fingerprint import (
 from repro.compile.instrument import (
     Instrumentation,
     PassEvent,
+    render_per_ii,
     render_report,
     summarize,
 )
@@ -85,6 +86,7 @@ __all__ = [
     "dfg_fingerprint",
     "get_cache",
     "mapping_cache_key",
+    "render_per_ii",
     "render_report",
     "resolve_config",
     "resolve_strategy",

@@ -172,7 +172,7 @@ class DiskCache:
             return {}
         out = {}
         for field_name in ("backend", "optimal", "cost", "ii",
-                           "upgraded_from"):
+                           "upgraded_from", "sweep"):
             if field_name in envelope:
                 out[field_name] = envelope[field_name]
         return out
@@ -218,11 +218,13 @@ class DiskCache:
         ``engine_stats`` optionally embeds the search-effort counters of
         the compile that produced the artifact; ``backend`` tags which
         mapper backend produced it and ``meta`` adds provenance fields
-        (``optimal``, ``cost``, ``ii``, ``upgraded_from``). All are
-        additive envelope fields: readers that don't know them ignore
-        them, so the schema version is unchanged and cache keys are
-        unaffected — but a reader that *names* its expected backend is
-        refused a mismatching artifact (see :meth:`load_blob`).
+        (``optimal``, ``cost``, ``ii``, ``upgraded_from``, and for DSE
+        artifacts ``sweep`` — the design-space hash and point index that
+        first produced the blob). All are additive envelope fields:
+        readers that don't know them ignore them, so the schema version
+        is unchanged and cache keys are unaffected — but a reader that
+        *names* its expected backend is refused a mismatching artifact
+        (see :meth:`load_blob`).
         """
         envelope = {
             "schema": SCHEMA_VERSION,
@@ -234,7 +236,8 @@ class DiskCache:
             envelope["engine_stats"] = dict(engine_stats)
         if backend is not None:
             envelope["backend"] = backend
-        for field_name in ("optimal", "cost", "ii", "upgraded_from"):
+        for field_name in ("optimal", "cost", "ii", "upgraded_from",
+                           "sweep"):
             if meta and field_name in meta:
                 envelope[field_name] = meta[field_name]
         payload = json.dumps(envelope, sort_keys=True,
@@ -258,6 +261,43 @@ class DiskCache:
                 except OSError:
                     pass
         self.stats.stores += 1
+
+    def tag_sweep(self, key: str, space_hash: str,
+                  point_index: int) -> bool:
+        """Stamp first-producer sweep provenance onto the artifact
+        under ``key``: which design-space hash and point index caused
+        it to be compiled. Rewrites the envelope in place (atomically,
+        preserving every other field, ``engine_stats`` included); an
+        artifact that already carries a ``sweep`` tag keeps its
+        original producer. Returns True when the tag was written.
+        """
+        path = self._path(key)
+        try:
+            envelope = json.loads(path.read_bytes().decode("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return False
+        if not isinstance(envelope, dict) or "sweep" in envelope:
+            return False
+        envelope["sweep"] = {"space_hash": str(space_hash),
+                             "point": int(point_index)}
+        payload = json.dumps(envelope, sort_keys=True,
+                             separators=(",", ":"))
+        tmp = path.parent / f".{key}.{os.getpid()}.{time.monotonic_ns()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError:
+            return False
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        return True
 
     def upgrade_best(self, key: str, blob: str, *, backend: str,
                      ii: int, cost: float, kernel: str = "",
@@ -414,6 +454,32 @@ class DiskCache:
                     totals[name] = totals.get(name, 0) + value
         totals["artifacts_with_stats"] = counted
         return totals
+
+    def sweep_footprint(self) -> dict[str, dict[str, int]]:
+        """Per-sweep cache footprint: artifact count and bytes, grouped
+        by the ``sweep`` provenance tag (design-space hash) stamped by
+        ``repro dse``. Artifacts without the tag are grouped under
+        ``"(untagged)"`` so the report always accounts for the whole
+        store. Powers ``repro cache stats`` and lets ``gc`` answer
+        "which sweep owns the disk I'm about to reclaim".
+        """
+        groups: dict[str, dict[str, int]] = {}
+        for path in self.artifact_paths():
+            try:
+                data = path.read_bytes()
+                envelope = json.loads(data.decode("utf-8"))
+            except (OSError, ValueError, UnicodeDecodeError):
+                continue
+            if not isinstance(envelope, dict):
+                continue
+            sweep = envelope.get("sweep")
+            label = "(untagged)"
+            if isinstance(sweep, dict) and sweep.get("space_hash"):
+                label = str(sweep["space_hash"])
+            row = groups.setdefault(label, {"artifacts": 0, "bytes": 0})
+            row["artifacts"] += 1
+            row["bytes"] += len(data)
+        return groups
 
 
 @dataclass

@@ -23,7 +23,7 @@ from typing import Any
 
 from repro.arch.cgra import CGRA
 from repro.dfg.graph import DFG
-from repro.mapper.engine import EngineConfig
+from repro.mapper.engine import ACCEL_FIELDS, EngineConfig
 
 #: Bump when the engine's search semantics change incompatibly: old
 #: cached artifacts keep validating but would mask behaviour changes.
@@ -69,6 +69,11 @@ def config_fingerprint(config: EngineConfig) -> dict[str, Any]:
         d["allowed_tiles"] = sorted(d["allowed_tiles"])
     if d["allowed_level_names"] is not None:
         d["allowed_level_names"] = list(d["allowed_level_names"])
+    # Acceleration-only knobs (vectorized scoring, sound II warm
+    # starts) are proven result-neutral by the differential suites, so
+    # toggling them must hit the same cache entries.
+    for field_name in ACCEL_FIELDS:
+        d.pop(field_name, None)
     return d
 
 

@@ -138,3 +138,32 @@ def render_report(events: list[PassEvent],
             f"({rate} hit rate, {cache_stats.get('entries', 0)} entries)"
         )
     return "\n".join(lines)
+
+
+def render_per_ii(per_ii: list[dict]) -> str:
+    """The per-II-attempt effort table (``map --stats`` / ``profile``).
+
+    One row per II the deepening loop tried, with that II's *own*
+    probe/prune counts and route-memo hit rate — the aggregated
+    counters hide which II actually burned the search effort, which is
+    exactly what one needs when debugging a DSE hot spot.
+    """
+    if not per_ii:
+        return "no per-II engine effort recorded"
+    table = TextTable(["II", "outcome", "attempts", "probed", "pruned",
+                       "routes", "memo hit rate"])
+    for row in per_ii:
+        hits = row.get("route_memo_hits", 0)
+        misses = row.get("route_memo_misses", 0)
+        looked = hits + misses
+        rate = f"{100.0 * hits / looked:.0f}%" if looked else "n/a"
+        table.add_row([
+            row.get("ii", "?"),
+            row.get("outcome", "?"),
+            row.get("attempts", 0),
+            row.get("candidates_probed", 0),
+            row.get("candidates_pruned", 0),
+            row.get("routes_searched", 0),
+            rate,
+        ])
+    return table.render()

@@ -417,10 +417,15 @@ class SweepExecutor:
         # Promote the worker's backend artifact so later serial compiles
         # (e.g. derived strategies over the same placement) hit warm.
         # The backend tag and provenance ride along so the promoted
-        # artifact stays servable under backend-checked lookups.
+        # artifact stays servable under backend-checked lookups. Only
+        # promote *absent* keys: a worker cache hit returns the same
+        # bytes that are already stored, and an unconditional rewrite
+        # would strip additive envelope fields a previous producer
+        # attached (e.g. the DSE driver's `sweep` provenance tag).
         meta = meta or {}
-        if engine_blob is not None and hasattr(self.cache,
-                                               "store_serialized"):
+        if (engine_blob is not None
+                and hasattr(self.cache, "store_serialized")
+                and cache_key not in self.cache):
             self.cache.store_serialized(
                 cache_key, engine_blob, backend=item.backend,
                 meta={k: meta[k] for k in ("optimal", "cost", "ii")

@@ -223,6 +223,12 @@ def _pass_place_route(ctx: CompileContext) -> None:
             # Engine counter keys equal EngineStats field names, so the
             # historical stats object survives the dispatch refactor.
             ctx.engine_stats = EngineStats(**result.stats)
+            if result.detail:
+                # Per-II effort rows ride outside the flat counter dict
+                # (they are per-run diagnostics, never cached).
+                ctx.engine_stats.per_ii = list(
+                    result.detail.get("per_ii", ())
+                )
         namespaced = _namespaced(ctx.backend, result.stats)
         counters.update(namespaced)
         if ctx.backend != "engine":

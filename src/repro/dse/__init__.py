@@ -1,0 +1,31 @@
+"""Design-space exploration at scale: declarative sweeps over fabric
+dimensions, island geometries, topologies, V/F tables and strategies,
+compiled with cross-point reuse and summarized as Pareto frontiers.
+
+See :mod:`repro.dse.space` for the space definition,
+:mod:`repro.dse.driver` for the sweep engine and
+:mod:`repro.dse.pareto` for frontier extraction; ``python -m repro
+dse`` is the CLI entry point and ``docs/dse.md`` the narrative.
+"""
+
+from repro.dse.pareto import PARETO_AXES, dominates, pareto_front
+from repro.dse.space import DEFAULT_KERNELS, DesignPoint, DesignSpace
+from repro.dse.driver import (
+    build_fabric,
+    render_summary,
+    run_dse,
+    write_result,
+)
+
+__all__ = [
+    "DEFAULT_KERNELS",
+    "DesignPoint",
+    "DesignSpace",
+    "PARETO_AXES",
+    "build_fabric",
+    "dominates",
+    "pareto_front",
+    "render_summary",
+    "run_dse",
+    "write_result",
+]

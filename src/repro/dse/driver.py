@@ -1,0 +1,403 @@
+"""The DSE sweep driver: expand a design space, compile every point,
+emit Pareto frontiers.
+
+The naive way to sweep a design space is one cold compile per point.
+This driver instead layers every reuse channel the compile stack
+offers, all of them *result-neutral* (the dse benchmark asserts every
+per-point mapping blob is byte-identical to a naive cold compile):
+
+* **exact-key dedupe** — the mapping cache is keyed by (DFG, fabric,
+  engine config, backend), *not* strategy, and every DVFS-oblivious
+  strategy (baseline, gating, per-tile) resolves to the same engine
+  config; one shared :class:`TieredCache` across the whole sweep turns
+  their placements into one compile plus warm hits;
+* **cross-variant blob aliasing** — a DVFS-oblivious search never
+  reads any level but ``normal``, so fabrics differing *only* in V/F
+  table depth run the identical search; the driver compiles one
+  representative and republishes its serialized blob under the sibling
+  variants' keys before their group runs;
+* **warm-started II deepening** — every item's engine config carries
+  ``min_ii = exact_lower_bound(dfg, fabric)`` (and, for oblivious
+  points, the solved II of an identical-search sibling), skipping
+  ascending-II attempts a sound bound already rules out;
+* **vectorized candidate scoring** and the process-global routing
+  distance-oracle cache (keyed by topology fingerprint) accelerate the
+  cold compiles that remain.
+
+Determinism: per-point seeds derive from (sweep seed, point index) —
+never from scheduling — and result rows carry no volatile fields, so
+``--jobs N`` points and frontier are byte-equal to ``--jobs 1``
+(``stats`` aggregates reuse/timing and is the one volatile section).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+
+from repro import obs
+from repro.arch.cgra import CGRA
+from repro.arch.dvfs import scaled_config
+from repro.compile.cache import MappingCache
+from repro.compile.diskcache import DiskCache, TieredCache
+from repro.compile.fingerprint import mapping_cache_key
+from repro.compile.parallel import SweepExecutor, SweepItem
+from repro.compile.pipeline import compile_kernel, resolve_config
+from repro.dse.pareto import PARETO_AXES, pareto_front
+from repro.dse.space import DesignPoint, DesignSpace
+from repro.kernels import load_kernel
+from repro.mapper.exact import exact_lower_bound
+from repro.power.area import area_report
+from repro.power.model import energy_uj, mapping_power
+from repro.utils.rng import derive_worker_seed
+from repro.utils.tables import TextTable
+
+#: Result-file schema; bump on incompatible row changes.
+RESULT_SCHEMA = 1
+
+
+def build_fabric(point: DesignPoint) -> CGRA:
+    """The CGRA a design point names. The default ``CGRA.build`` name
+    (``cgra{rows}x{cols}``) is kept deliberately: serialized mappings
+    embed the fabric name, and cross-V/F blob aliasing needs variants
+    that differ only in V/F table to serialize identically."""
+    return CGRA.build(point.rows, point.cols, island_shape=point.island,
+                      dvfs=scaled_config(point.vf_levels),
+                      topology=point.topology)
+
+
+def _area_style(point: DesignPoint) -> str:
+    """DVFS support hardware implied by the strategy/island choice."""
+    if point.strategy == "baseline":
+        return "none"
+    if point.strategy == "per_tile_dvfs" or point.island == (1, 1):
+        return "per_tile"
+    return "island"
+
+
+def _evaluate(point: DesignPoint, result, cgra: CGRA,
+              iterations: int) -> dict:
+    """One successful compile -> one canonical result row."""
+    ii = result.report.ii
+    power = mapping_power(result.mapping, report=result.report)
+    freq = cgra.dvfs.normal.frequency_mhz
+    makespan_us = ii * iterations / freq
+    area = area_report(cgra, dvfs_style=_area_style(point))
+    row = point.to_dict()
+    row.update({
+        "status": "ok",
+        "ii": ii,
+        "power_mw": round(power.total_mw, 6),
+        "makespan_us": round(makespan_us, 6),
+        "energy_uj": round(energy_uj(power, makespan_us), 6),
+        "area_mm2": round(area.total_mm2, 6),
+    })
+    return row
+
+
+def _failed(point: DesignPoint, error) -> dict:
+    row = point.to_dict()
+    row.update({"status": "unmappable", "error": str(error)})
+    return row
+
+
+class _ObliviousIndex:
+    """Per-(geometry, kernel) registry of solved DVFS-oblivious
+    compiles: the serialized blob, its provenance meta, and the solved
+    II — everything aliasing and sibling II seeding need."""
+
+    def __init__(self) -> None:
+        self._solved: dict[tuple, dict] = {}
+
+    @staticmethod
+    def _key(point: DesignPoint) -> tuple:
+        return (point.geometry_key, point.kernel, point.unroll)
+
+    def record(self, point: DesignPoint, blob: str, meta: dict) -> None:
+        self._solved.setdefault(self._key(point), {
+            "blob": blob, "meta": dict(meta),
+        })
+
+    def lookup(self, point: DesignPoint) -> dict | None:
+        return self._solved.get(self._key(point))
+
+
+def run_dse(space: DesignSpace, *, jobs: int = 1,
+            cache: object | None = None, cache_dir: str | None = None,
+            seed: int = 0, naive: bool = False,
+            skip_unmappable: bool = True,
+            blob_sink: dict | None = None) -> dict:
+    """Sweep ``space`` and return the canonical result document:
+    ``{schema, space, space_hash, points, frontier, stats}``.
+
+    ``naive`` disables every reuse channel (fresh per-point cache, no
+    vectorization, no warm starts, cold routing oracle) — the honest
+    per-point-compile baseline the dse benchmark races against.
+    ``skip_unmappable=False`` re-raises the first ``MappingError``
+    instead of recording an ``unmappable`` row. ``blob_sink``, when
+    given, receives every point's *final* canonical mapping JSON
+    (``blob_sink[index] = blob``) — the bit-identity oracle the dse
+    benchmark compares across naive/optimized/parallel runs.
+    """
+    points = space.expand()
+    space_hash = space.space_hash()
+    started = time.perf_counter()
+    stats = {
+        "points": len(points),
+        "compiles": 0,
+        "cache_hits": 0,
+        "aliased_blobs": 0,
+        "sibling_ii_seeds": 0,
+        "unmappable": 0,
+    }
+    with obs.span("dse", category="dse", space=space.name,
+                  space_hash=space_hash, points=len(points)):
+        if naive:
+            rows = _run_naive(points, space, seed, stats,
+                              skip_unmappable, blob_sink)
+        else:
+            rows = _run_optimized(points, space, space_hash, jobs,
+                                  cache, cache_dir, seed, stats,
+                                  skip_unmappable, blob_sink)
+    rows.sort(key=lambda row: row["index"])
+    frontier = pareto_front([r for r in rows if r["status"] == "ok"])
+    stats["frontier_size"] = len(frontier)
+    stats["wall_ms"] = round((time.perf_counter() - started) * 1000.0, 1)
+    registry = obs.metrics()
+    registry.counter("dse.points").inc(len(points))
+    registry.counter("dse.compiles").inc(stats["compiles"])
+    registry.counter("dse.cache_hits").inc(stats["cache_hits"])
+    registry.counter("dse.aliased_blobs").inc(stats["aliased_blobs"])
+    return {
+        "schema": RESULT_SCHEMA,
+        "space": space.to_dict(),
+        "space_hash": space_hash,
+        "axes": list(PARETO_AXES),
+        "points": rows,
+        "frontier": frontier,
+        "stats": stats,
+    }
+
+
+# -- naive path (the benchmark baseline) -------------------------------------
+
+
+def _final_blob(result) -> str:
+    return json.dumps(result.mapping.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _run_naive(points: list[DesignPoint], space: DesignSpace, seed: int,
+               stats: dict, skip_unmappable: bool,
+               blob_sink: dict | None) -> list[dict]:
+    from repro.errors import MappingError
+    from repro.mapper import routing
+
+    rows = []
+    for point in points:
+        routing.clear_oracle_cache()
+        cgra = build_fabric(point)
+        config = replace(resolve_config(point.strategy, None),
+                         vectorize=False, min_ii=0)
+        stats["compiles"] += 1
+        try:
+            result = compile_kernel(
+                point.kernel, cgra, point.strategy, config,
+                unroll=point.unroll,
+                seed=derive_worker_seed(seed, point.index),
+                cache=MappingCache(),
+            )
+        except MappingError as exc:
+            if not skip_unmappable:
+                raise
+            stats["unmappable"] += 1
+            rows.append(_failed(point, exc))
+            continue
+        if blob_sink is not None:
+            blob_sink[point.index] = _final_blob(result)
+        rows.append(_evaluate(point, result, cgra, space.iterations))
+    return rows
+
+
+# -- optimized path ----------------------------------------------------------
+
+
+def _point_key(point: DesignPoint, cgra: CGRA, dfg) -> tuple[str, object]:
+    """The point's engine cache key and its resolved config."""
+    config = resolve_config(point.strategy, None)
+    return mapping_cache_key(dfg, cgra, config, "engine"), config
+
+
+def _run_optimized(points: list[DesignPoint], space: DesignSpace,
+                   space_hash: str, jobs: int, cache: object | None,
+                   cache_dir: str | None, seed: int, stats: dict,
+                   skip_unmappable: bool,
+                   blob_sink: dict | None) -> list[dict]:
+    if cache is None:
+        cache = (TieredCache(MappingCache(), DiskCache(cache_dir))
+                 if cache_dir else MappingCache())
+    disk = getattr(cache, "disk", None)
+    executor = SweepExecutor(jobs=jobs, cache=cache,
+                             cache_dir=cache_dir, seed=seed)
+    index = _ObliviousIndex()
+    dfgs: dict[tuple, object] = {}
+
+    def dfg_of(point: DesignPoint):
+        key = (point.kernel, point.unroll)
+        if key not in dfgs:
+            dfgs[key] = load_kernel(point.kernel, point.unroll)
+        return dfgs[key]
+
+    # Group points by fabric: the executor compiles one fabric per call.
+    groups: dict[tuple, list[DesignPoint]] = {}
+    for point in points:
+        groups.setdefault(point.fabric_key, []).append(point)
+
+    rows: list[dict] = []
+    for fabric_key, group in groups.items():
+        cgra = build_fabric(group[0])
+        with obs.span("dse.group", category="dse",
+                      fabric=f"{cgra.rows}x{cgra.cols}",
+                      topology=cgra.topology, points=len(group)):
+            rows.extend(_run_group(group, cgra, space, space_hash,
+                                   executor, cache, disk, index, seed,
+                                   stats, skip_unmappable, dfg_of,
+                                   blob_sink))
+    return rows
+
+
+def _run_group(group: list[DesignPoint], cgra: CGRA, space: DesignSpace,
+               space_hash: str, executor: SweepExecutor, cache, disk,
+               index: _ObliviousIndex, seed: int, stats: dict,
+               skip_unmappable: bool, dfg_of,
+               blob_sink: dict | None) -> list[dict]:
+    """Compile one fabric's points: alias sibling blobs in, warm-start
+    IIs, dispatch in two waves (unique keys first, guaranteed-warm
+    rest second) and evaluate the outcomes."""
+    prepared: list[tuple[DesignPoint, SweepItem, str, bool]] = []
+    lower_bounds: dict[tuple, int] = {}
+    for point in group:
+        dfg = dfg_of(point)
+        key, config = _point_key(point, cgra, dfg)
+        oblivious = not config.dvfs_aware
+        # Cross-variant aliasing: an identical search already solved
+        # under a sibling V/F table republishes its blob under this
+        # variant's key. Sound because the oblivious engine reads only
+        # the (shared) normal level — and revalidation still runs.
+        solved = index.lookup(point) if oblivious else None
+        if solved is not None and key not in cache:
+            if disk is not None:
+                cache.store_serialized(key, solved["blob"],
+                                       kernel=point.kernel,
+                                       backend="engine",
+                                       meta=solved["meta"])
+            else:
+                cache.store_serialized(key, solved["blob"],
+                                       backend="engine",
+                                       meta=solved["meta"])
+            if disk is not None:
+                disk.tag_sweep(key, space_hash, point.index)
+            stats["aliased_blobs"] += 1
+        lb_key = (point.kernel, point.unroll)
+        if lb_key not in lower_bounds:
+            lower_bounds[lb_key] = exact_lower_bound(dfg, cgra)
+        min_ii = lower_bounds[lb_key]
+        if solved is not None:
+            sibling_ii = solved["meta"].get("ii")
+            if isinstance(sibling_ii, int) and sibling_ii > min_ii:
+                # The sibling solved the *identical* search at this II,
+                # so it is exact for this point too.
+                min_ii = sibling_ii
+                stats["sibling_ii_seeds"] += 1
+        item = SweepItem(
+            kernel=point.kernel, unroll=point.unroll,
+            strategy=point.strategy,
+            config=replace(config, min_ii=min_ii),
+            seed=derive_worker_seed(seed, point.index),
+            tag=str(point.index),
+        )
+        prepared.append((point, item, key, oblivious))
+
+    # Two waves: one representative per engine key compiles first, so
+    # the rest hit warm even across pool workers (shared disk tier).
+    first_of: set[str] = set()
+    wave1, wave2 = [], []
+    for entry in prepared:
+        if entry[2] in first_of:
+            wave2.append(entry)
+        else:
+            first_of.add(entry[2])
+            wave1.append(entry)
+
+    rows: list[dict] = []
+    for wave in (wave1, wave2):
+        if not wave:
+            continue
+        outcomes = executor.run([item for _, item, _, _ in wave], cgra)
+        for (point, _, key, oblivious), outcome in zip(wave, outcomes):
+            if outcome.error is not None:
+                if not skip_unmappable:
+                    raise outcome.error
+                stats["unmappable"] += 1
+                rows.append(_failed(point, outcome.error))
+                continue
+            result = outcome.result
+            if result.cache_hit:
+                stats["cache_hits"] += 1
+            else:
+                stats["compiles"] += 1
+                if disk is not None and disk.tag_sweep(
+                        key, space_hash, point.index):
+                    pass  # first-producer tag written
+            if oblivious:
+                blob = cache.serialized(key)
+                if blob is not None:
+                    meta = dict(cache.meta(key))
+                    meta.setdefault("ii", result.report.ii)
+                    index.record(point, blob, meta)
+            if blob_sink is not None:
+                blob_sink[point.index] = _final_blob(result)
+            rows.append(_evaluate(point, result, cgra,
+                                  space.iterations))
+    return rows
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def render_summary(result: dict, top: int = 10) -> str:
+    """The human-facing sweep summary ``repro dse`` prints."""
+    stats = result["stats"]
+    lines = [
+        f"design space {result['space']['name']!r} "
+        f"(hash {result['space_hash']}): {stats['points']} points, "
+        f"{stats['compiles']} compiles, {stats['cache_hits']} cache "
+        f"hits, {stats['aliased_blobs']} aliased blobs, "
+        f"{stats['unmappable']} unmappable "
+        f"[{stats['wall_ms']:.0f} ms]",
+        f"pareto frontier ({stats['frontier_size']} points, "
+        f"minimizing {' x '.join(result['axes'])}):",
+    ]
+    table = TextTable(["#", "kernel", "strategy", "fabric", "island",
+                       "topo", "vf", "II", "energy uJ", "makespan us",
+                       "area mm2"])
+    for row in result["frontier"][:top]:
+        table.add_row([
+            row["index"], row["kernel"], row["strategy"],
+            row["fabric"], row["island"], row["topology"],
+            row["vf_levels"], row["ii"], row["energy_uj"],
+            row["makespan_us"], row["area_mm2"],
+        ])
+    lines.append(table.render())
+    if len(result["frontier"]) > top:
+        lines.append(f"... and {len(result['frontier']) - top} more "
+                     f"frontier points")
+    return "\n".join(lines)
+
+
+def write_result(result: dict, path: str) -> None:
+    """Persist the result document as canonical JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, sort_keys=True, indent=2)
+        fh.write("\n")

@@ -1,0 +1,52 @@
+"""Pareto-frontier extraction over DSE result rows.
+
+The DSE driver evaluates every design point on three axes — energy per
+run, makespan and fabric area — and the frontier is the set of points
+no other point beats on *every* axis. All axes minimize.
+
+Determinism contract (property-tested): the frontier is a pure
+function of the point *set* — permuting the input, or computing it
+from a ``--jobs N`` sweep instead of a serial one, yields the exact
+same list in the exact same order. That holds because membership is
+order-free (strict Pareto dominance) and the output is canonically
+sorted by the objective tuple with the point index as the tiebreak.
+"""
+
+from __future__ import annotations
+
+#: The objective axes, in canonical sort order. All minimized.
+PARETO_AXES = ("energy_uj", "makespan_us", "area_mm2")
+
+
+def _objectives(row: dict, axes: tuple[str, ...]) -> tuple:
+    return tuple(float(row[axis]) for axis in axes)
+
+
+def dominates(a: dict, b: dict, axes: tuple[str, ...] = PARETO_AXES) -> bool:
+    """True when ``a`` is at least as good as ``b`` on every axis and
+    strictly better on at least one (minimization)."""
+    obj_a = _objectives(a, axes)
+    obj_b = _objectives(b, axes)
+    return (all(x <= y for x, y in zip(obj_a, obj_b))
+            and any(x < y for x, y in zip(obj_a, obj_b)))
+
+
+def pareto_front(rows: list[dict],
+                 axes: tuple[str, ...] = PARETO_AXES) -> list[dict]:
+    """The non-dominated subset of ``rows``, canonically ordered.
+
+    Duplicate objective vectors all survive (none strictly beats the
+    other), so equivalent designs stay visible in the frontier. Rows
+    lacking an axis (failed compiles carry no energy) must be filtered
+    out by the caller; this function assumes evaluable rows. The
+    ``O(n^2)`` scan is deliberate — sweeps are hundreds of points, and
+    the simple form is what the permutation-stability property tests
+    pin down.
+    """
+    front = [
+        row for row in rows
+        if not any(dominates(other, row, axes) for other in rows)
+    ]
+    front.sort(key=lambda row: (_objectives(row, axes),
+                                row.get("index", 0)))
+    return front

@@ -87,7 +87,10 @@ class MappingResult:
     ``optimal`` asserts the II is *provably* minimal under the shared
     feasibility model (exhaustive/exact backends only). ``stats`` holds
     the backend's own search-effort counters under its native names —
-    namespacing for merged snapshots is the pipeline's job.
+    namespacing for merged snapshots is the pipeline's job. ``detail``
+    carries structured per-run diagnostics (e.g. the engine's per-II
+    effort rows) — like ``wall_ms`` it varies run to run, so it is
+    excluded from serialization and the fingerprint.
     """
 
     mapping: Mapping
@@ -97,15 +100,18 @@ class MappingResult:
     optimal: bool = False
     stats: dict[str, int] = field(default_factory=dict)
     wall_ms: float = 0.0
+    detail: dict[str, Any] | None = None
 
     @classmethod
     def wrap(cls, mapping: Mapping, backend: str, *,
              optimal: bool = False,
              stats: dict[str, int] | None = None,
-             wall_ms: float = 0.0) -> "MappingResult":
+             wall_ms: float = 0.0,
+             detail: dict[str, Any] | None = None) -> "MappingResult":
         return cls(mapping=mapping, backend=backend, ii=mapping.ii,
                    cost=mapping_cost(mapping), optimal=optimal,
-                   stats=dict(stats or {}), wall_ms=wall_ms)
+                   stats=dict(stats or {}), wall_ms=wall_ms,
+                   detail=detail)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-stable encoding (round-trips through :meth:`from_dict`)."""
@@ -248,6 +254,7 @@ class EngineBackend:
         return MappingResult.wrap(
             mapping, self.name, stats=stats.as_counters(),
             wall_ms=(time.perf_counter() - start) * 1000.0,
+            detail={"per_ii": stats.per_ii},
         )
 
 

@@ -76,7 +76,8 @@ class RouteMemo:
     #: Safety valve: drop everything rather than grow without bound.
     MAX_ENTRIES = 200_000
 
-    __slots__ = ("table", "hits", "misses", "hcols")
+    __slots__ = ("table", "hits", "misses", "hcols", "hcol_builds",
+                 "hcol_reuses")
 
     def __init__(self) -> None:
         self.table: dict[tuple, tuple] = {}
@@ -84,6 +85,10 @@ class RouteMemo:
         self.misses = 0
         #: (dst_tile, slow) -> weighted-distance heuristic column.
         self.hcols: dict[tuple, list[int]] = {}
+        #: Oracle columns built by Dijkstra vs served from the
+        #: process-level topology-keyed cache (cross-point reuse).
+        self.hcol_builds = 0
+        self.hcol_reuses = 0
 
 
 def find_route(mrrg: MRRG, slowdown_of: SlowdownFn, src_tile: int,
@@ -243,15 +248,53 @@ def _pred_rows(cgra) -> tuple[tuple[int, ...], ...]:
     return rows
 
 
+#: Process-level oracle-column cache shared across ``map_dfg`` calls.
+#: Keyed by the *topology fingerprint* — everything the column depends
+#: on: the link graph is fully determined by (rows, cols, topology), and
+#: the column itself additionally by (dst_tile, slow). Two sweep points
+#: whose fabrics share a topology therefore reuse each other's routing
+#: lower bounds, no matter how their islands or V/F tables differ.
+#: Reuse cannot change any mapping: the column is a pure function of
+#: the key, so a cached value is byte-identical to a rebuilt one.
+_HCOL_CACHE: dict[tuple, list[int]] = {}
+
+#: Safety valve for long-lived processes sweeping many fabrics.
+_HCOL_CACHE_MAX = 100_000
+
+
+def topology_fingerprint(cgra) -> tuple:
+    """The part of a fabric's identity that the routing oracle sees.
+
+    Islands, V/F tables, SPM geometry, ALU-only restrictions and op
+    latencies are all invisible to :func:`_weighted_hcol`; only the
+    link graph matters, and ``CGRA.build`` derives it entirely from
+    these three values.
+    """
+    return (cgra.rows, cgra.cols, cgra.topology)
+
+
+def clear_oracle_cache() -> None:
+    """Drop all process-level oracle columns (tests / memory pressure)."""
+    _HCOL_CACHE.clear()
+
+
 def _weighted_hcol(memo: RouteMemo, cgra, slow: tuple[int, ...],
                    dst_tile: int) -> list[int]:
     """``h[tile]`` = cheapest congestion-free transit time from ``tile``
     to ``dst_tile`` under ``slow`` (a hop into tile ``v`` costs
     ``slow[v]``). Computed by one Dijkstra from the destination over the
-    reversed link graph and cached in the memo per (dst, slow)."""
+    reversed link graph; cached in the memo per (dst, slow) and in the
+    process-level ``_HCOL_CACHE`` per (topology, dst, slow) so sweeps
+    over fabric variants sharing a topology build each column once."""
     key = (dst_tile, slow)
     col = memo.hcols.get(key)
     if col is not None:
+        return col
+    global_key = (topology_fingerprint(cgra), dst_tile, slow)
+    col = _HCOL_CACHE.get(global_key)
+    if col is not None:
+        memo.hcols[key] = col
+        memo.hcol_reuses += 1
         return col
     preds = _pred_rows(cgra)
     col = [_UNREACHABLE] * cgra.num_tiles
@@ -268,6 +311,9 @@ def _weighted_hcol(memo: RouteMemo, cgra, slow: tuple[int, ...],
                 col[y] = nd
                 heappush(heap, (nd, y))
     memo.hcols[key] = col
+    memo.hcol_builds += 1
+    if len(_HCOL_CACHE) < _HCOL_CACHE_MAX:
+        _HCOL_CACHE[global_key] = col
     return col
 
 

@@ -1,0 +1,239 @@
+"""The DSE subsystem: space expansion, Pareto extraction, sweep
+driver determinism and cache provenance.
+
+The load-bearing contracts:
+
+* Pareto frontiers are non-dominated and *permutation-stable* —
+  pure functions of the point set (hypothesis-tested);
+* ``DesignSpace.expand`` is deterministic, densely indexed and drops
+  only island shapes that do not fit their fabric;
+* the optimized driver (cache reuse, blob aliasing, warm-started II,
+  vectorized scoring) produces byte-identical rows *and* final mapping
+  blobs to the naive per-point baseline, and ``jobs=2`` matches
+  ``jobs=1`` byte for byte;
+* DSE-produced disk artifacts carry the sweep provenance tag and the
+  per-sweep footprint report groups by it.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compile.diskcache import DiskCache
+from repro.dse import (
+    DesignPoint,
+    DesignSpace,
+    dominates,
+    pareto_front,
+    run_dse,
+)
+from repro.dse.space import _parse_shape
+
+SMALL_SPACE = DesignSpace(
+    name="test",
+    fabrics=((4, 4),),
+    islands=((2, 2),),
+    topologies=("mesh",),
+    vf_levels=(3, 4),
+    strategies=("baseline", "per_tile_dvfs", "iced"),
+    kernels=("fir", "mvt"),
+)
+
+
+# -- pareto properties -------------------------------------------------------
+
+def _rows(draw_objs):
+    return [
+        {"index": i, "energy_uj": e, "makespan_us": m, "area_mm2": a}
+        for i, (e, m, a) in enumerate(draw_objs)
+    ]
+
+
+objective = st.tuples(
+    st.integers(0, 6).map(float),
+    st.integers(0, 6).map(float),
+    st.integers(0, 6).map(float),
+)
+
+
+@given(st.lists(objective, min_size=1, max_size=24))
+@settings(max_examples=120, deadline=None)
+def test_pareto_front_is_non_dominated_and_complete(objs):
+    rows = _rows(objs)
+    front = pareto_front(rows)
+    assert front, "a non-empty set always has a non-dominated point"
+    front_ids = {row["index"] for row in front}
+    for row in front:
+        assert not any(dominates(other, row) for other in rows)
+    # Completeness: anything off the frontier is dominated by someone.
+    for row in rows:
+        if row["index"] not in front_ids:
+            assert any(dominates(other, row) for other in rows)
+
+
+@given(st.lists(objective, min_size=1, max_size=20),
+       st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_pareto_front_is_permutation_stable(objs, rng):
+    rows = _rows(objs)
+    shuffled = list(rows)
+    rng.shuffle(shuffled)
+    assert pareto_front(shuffled) == pareto_front(rows)
+
+
+def test_duplicate_objectives_all_survive():
+    rows = _rows([(1.0, 1.0, 1.0), (1.0, 1.0, 1.0), (2.0, 2.0, 2.0)])
+    front = pareto_front(rows)
+    assert [row["index"] for row in front] == [0, 1]
+
+
+def test_dominates_is_strict():
+    a = {"energy_uj": 1.0, "makespan_us": 1.0, "area_mm2": 1.0}
+    assert not dominates(a, dict(a))
+    better = dict(a, energy_uj=0.5)
+    assert dominates(better, a)
+    assert not dominates(a, better)
+
+
+# -- space expansion ---------------------------------------------------------
+
+def test_expand_is_deterministic_and_densely_indexed():
+    points = SMALL_SPACE.expand()
+    assert points == SMALL_SPACE.expand()
+    assert [p.index for p in points] == list(range(len(points)))
+    assert len(points) == 2 * 3 * 2  # vf x strategies x kernels
+
+
+def test_expand_drops_oversized_islands_only():
+    space = DesignSpace(fabrics=((4, 4), (8, 8)), islands=((8, 8),),
+                        strategies=("baseline",), kernels=("fir",))
+    points = space.expand()
+    assert [(p.rows, p.cols) for p in points] == [(8, 8)]
+    assert points[0].index == 0
+
+
+def test_space_hash_tracks_content():
+    assert SMALL_SPACE.space_hash() == SMALL_SPACE.space_hash()
+    other = DesignSpace.from_dict(
+        dict(SMALL_SPACE.to_dict(), iterations=2048)
+    )
+    assert other.space_hash() != SMALL_SPACE.space_hash()
+
+
+def test_space_json_round_trip():
+    rebuilt = DesignSpace.from_dict(
+        json.loads(json.dumps(SMALL_SPACE.to_dict()))
+    )
+    assert rebuilt == SMALL_SPACE
+    assert rebuilt.space_hash() == SMALL_SPACE.space_hash()
+
+
+def test_parse_shape_rejects_junk():
+    assert _parse_shape("6x6") == (6, 6)
+    for bad in ("6", "ax4", ""):
+        try:
+            _parse_shape(bad)
+        except ValueError:
+            continue
+        raise AssertionError(f"{bad!r} should not parse")
+
+
+def test_point_keys_partition_the_axes():
+    point = DesignPoint(index=0, rows=6, cols=6, island=(2, 2),
+                        topology="torus", vf_levels=4,
+                        strategy="iced", kernel="fir")
+    assert point.fabric_key == (6, 6, (2, 2), "torus", 4)
+    assert point.geometry_key == (6, 6, (2, 2), "torus")
+
+
+# -- driver determinism ------------------------------------------------------
+
+def test_optimized_matches_naive_rows_and_blobs():
+    opt_blobs, naive_blobs = {}, {}
+    optimized = run_dse(SMALL_SPACE, seed=0, blob_sink=opt_blobs)
+    naive = run_dse(SMALL_SPACE, seed=0, naive=True,
+                    blob_sink=naive_blobs)
+    assert optimized["points"] == naive["points"]
+    assert optimized["frontier"] == naive["frontier"]
+    assert opt_blobs == naive_blobs
+    assert optimized["stats"]["compiles"] < naive["stats"]["compiles"]
+    assert optimized["stats"]["aliased_blobs"] > 0
+
+
+def test_jobs_two_matches_jobs_one_byte_for_byte(tmp_path):
+    serial_blobs, pool_blobs = {}, {}
+    serial = run_dse(SMALL_SPACE, jobs=1, seed=0,
+                     cache_dir=str(tmp_path / "c1"),
+                     blob_sink=serial_blobs)
+    pool = run_dse(SMALL_SPACE, jobs=2, seed=0,
+                   cache_dir=str(tmp_path / "c2"),
+                   blob_sink=pool_blobs)
+    dump = lambda doc, section: json.dumps(doc[section], sort_keys=True)
+    assert dump(serial, "points") == dump(pool, "points")
+    assert dump(serial, "frontier") == dump(pool, "frontier")
+    assert serial_blobs == pool_blobs
+
+
+def test_unmappable_points_are_recorded_not_raised():
+    space = DesignSpace(fabrics=((1, 1),), islands=((1, 1),),
+                        strategies=("baseline",),
+                        kernels=("fft",), vf_levels=(3,))
+    result = run_dse(space, seed=0)
+    statuses = {row["status"] for row in result["points"]}
+    assert statuses == {"unmappable"}
+    assert result["frontier"] == []
+    assert result["stats"]["unmappable"] == len(result["points"])
+
+
+def test_result_document_shape():
+    result = run_dse(DesignSpace(fabrics=((4, 4),),
+                                 strategies=("baseline",),
+                                 kernels=("fir",)), seed=0)
+    assert result["schema"] == 1
+    assert result["space_hash"] == DesignSpace(
+        fabrics=((4, 4),), strategies=("baseline",), kernels=("fir",)
+    ).space_hash()
+    row = result["points"][0]
+    for field in ("index", "fabric", "island", "topology", "vf_levels",
+                  "strategy", "kernel", "status", "ii", "power_mw",
+                  "energy_uj", "makespan_us", "area_mm2"):
+        assert field in row
+
+
+# -- sweep provenance --------------------------------------------------------
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_artifacts_carry_sweep_tag_and_footprint_groups(tmp_path, jobs):
+    # jobs=2 pins the pool path: the executor's worker-blob promotion
+    # must not rewrite (and thereby untag) envelopes the driver
+    # already stamped with sweep provenance.
+    root = str(tmp_path / "cache")
+    space = DesignSpace(fabrics=((4, 4),), vf_levels=(3, 4),
+                        strategies=("baseline", "iced"), kernels=("fir",))
+    result = run_dse(space, seed=0, cache_dir=root, jobs=jobs)
+    disk = DiskCache(root)
+    assert len(disk) > 0
+    footprint = disk.sweep_footprint()
+    assert set(footprint) == {space.space_hash()}
+    assert (footprint[space.space_hash()]["artifacts"] == len(disk))
+    # meta() surfaces the tag for individual artifacts.
+    tagged = [
+        disk.meta(path.stem) for path in disk.artifact_paths()
+    ]
+    assert all(m.get("sweep", {}).get("space_hash") == space.space_hash()
+               for m in tagged)
+    points = {m["sweep"]["point"] for m in tagged}
+    assert points <= {row["index"] for row in result["points"]}
+
+
+def test_tag_sweep_keeps_first_producer(tmp_path):
+    root = str(tmp_path / "cache")
+    space = DesignSpace(fabrics=((4, 4),), strategies=("baseline",),
+                        kernels=("fir",))
+    run_dse(space, seed=0, cache_dir=root)
+    disk = DiskCache(root)
+    key = disk.artifact_paths()[0].stem
+    before = disk.meta(key)["sweep"]
+    assert not disk.tag_sweep(key, "deadbeef0000", 99)
+    assert disk.meta(key)["sweep"] == before

@@ -1,0 +1,125 @@
+"""Differential tests: engine acceleration knobs are result-neutral.
+
+``EngineConfig.vectorize`` (numpy candidate scoring) and
+``EngineConfig.min_ii`` (sound II warm starts) exist purely to make
+sweeps fast. Their contract — enforced here and assumed by the cache
+layer, which strips ``ACCEL_FIELDS`` from fingerprints — is *byte
+identity*: the same mapping, the same search counters, the same per-II
+effort rows as the scalar reference, on every fabric/kernel pairing.
+
+The routing distance-oracle cache is process-global by design (that is
+the cross-point reuse feature), so each run clears it first. The
+oracle build/reuse tallies — cache-state accounting, not search
+effort — live on :class:`EngineStats` fields but are deliberately
+absent from ``as_counters()`` (they would differ between ``--jobs 1``
+and ``--jobs N``); counter equality below therefore covers every
+counter the engine exports.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import CGRA
+from repro.compile.fingerprint import mapping_cache_key
+from repro.kernels import load_kernel
+from repro.mapper import routing
+from repro.mapper.engine import (
+    ACCEL_FIELDS,
+    EngineConfig,
+    EngineStats,
+    map_dfg,
+)
+from repro.mapper.exact import exact_lower_bound
+
+FABRICS = {
+    "mesh44": CGRA.build(4, 4, island_shape=(2, 2)),
+    "mesh63": CGRA.build(6, 3, island_shape=(3, 3)),
+    "torus44": CGRA.build(4, 4, island_shape=(2, 2), topology="torus"),
+    "king44": CGRA.build(4, 4, island_shape=(1, 1), topology="king"),
+}
+
+KERNELS = ("fir", "mvt", "latnrm", "dtw", "solver0", "histogram")
+
+
+def _run(kernel: str, fabric: str, dvfs_aware: bool, **accel):
+    """One cold engine run; returns (blob, effort counters, per-II)."""
+    routing.clear_oracle_cache()
+    dfg = load_kernel(kernel, 1)
+    cgra = FABRICS[fabric]
+    stats = EngineStats()
+    config = EngineConfig(dvfs_aware=dvfs_aware, **accel)
+    mapping = map_dfg(dfg, cgra, config, stats=stats)
+    blob = json.dumps(mapping.to_dict(), sort_keys=True,
+                      separators=(",", ":"))
+    return blob, stats.as_counters(), stats.per_ii
+
+
+@given(kernel=st.sampled_from(KERNELS),
+       fabric=st.sampled_from(sorted(FABRICS)),
+       dvfs_aware=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_vectorized_scoring_is_bit_identical(kernel, fabric, dvfs_aware):
+    ref = _run(kernel, fabric, dvfs_aware, vectorize=False)
+    vec = _run(kernel, fabric, dvfs_aware, vectorize=True)
+    assert vec[0] == ref[0], "mapping blob diverged"
+    assert vec[1] == ref[1], "search counters diverged"
+    assert vec[2] == ref[2], "per-II effort rows diverged"
+
+
+@given(kernel=st.sampled_from(KERNELS),
+       fabric=st.sampled_from(sorted(FABRICS)),
+       dvfs_aware=st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_min_ii_warm_start_is_bit_identical(kernel, fabric, dvfs_aware):
+    dfg = load_kernel(kernel, 1)
+    bound = exact_lower_bound(dfg, FABRICS[fabric])
+    cold = _run(kernel, fabric, dvfs_aware, min_ii=0)
+    warm = _run(kernel, fabric, dvfs_aware, min_ii=bound)
+    assert warm[0] == cold[0], "mapping blob diverged"
+    # Warm starts may *skip* doomed low-II attempts entirely, so the
+    # per-II row lists agree on every II both runs actually tried —
+    # and the warm run tried a suffix of the cold run's IIs.
+    cold_iis = [row["ii"] for row in cold[2]]
+    warm_iis = [row["ii"] for row in warm[2]]
+    assert warm_iis == [ii for ii in cold_iis if ii >= bound]
+    assert warm[2] == [row for row in cold[2] if row["ii"] >= bound]
+
+
+def test_min_ii_above_bound_skips_attempts():
+    """A warm start strictly above the natural floor provably skips
+    deepening work (the mechanism the DSE sibling seeding relies on)."""
+    cold = _run("fft", "mesh44", False, min_ii=0)
+    solved_ii = cold[2][-1]["ii"]
+    assert cold[2][-1]["outcome"] == "mapped"
+    warm = _run("fft", "mesh44", False, min_ii=solved_ii)
+    assert warm[0] == cold[0]
+    assert len(warm[2]) == 1 and warm[2][0]["ii"] == solved_ii
+
+
+@pytest.mark.parametrize("field", ACCEL_FIELDS)
+def test_accel_fields_do_not_split_the_cache(field):
+    dfg = load_kernel("fir", 1)
+    cgra = FABRICS["mesh44"]
+    base = EngineConfig()
+    toggled = {"vectorize": EngineConfig(vectorize=not base.vectorize),
+               "min_ii": EngineConfig(min_ii=7)}[field]
+    assert (mapping_cache_key(dfg, cgra, base, "engine")
+            == mapping_cache_key(dfg, cgra, toggled, "engine"))
+
+
+def test_oracle_cache_reuse_is_observable():
+    """Two identical runs without clearing: the second reuses columns
+    the first built (the cross-point channel the DSE driver exploits)."""
+    routing.clear_oracle_cache()
+    dfg = load_kernel("fir", 1)
+    cgra = FABRICS["mesh44"]
+    first = EngineStats()
+    map_dfg(dfg, cgra, EngineConfig(), stats=first)
+    second = EngineStats()
+    map_dfg(dfg, cgra, EngineConfig(), stats=second)
+    assert first.oracle_cols_built > 0
+    assert second.oracle_cols_built == 0
+    assert second.oracle_cols_reused > 0
+    routing.clear_oracle_cache()
