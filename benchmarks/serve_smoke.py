@@ -1,0 +1,202 @@
+"""Compile-as-a-service load smoke for CI.
+
+Boots a real ``repro serve`` daemon in-process (real sockets, its own
+event-loop thread, a fresh disk-cache shard in a temp directory) and
+replays a deterministic load-test campaign against it: a few hundred
+concurrent requests drawn from the Table I kernels and the paper's
+strategy vocabulary, heavily overlapping on purpose so the coalescing
+and cache layers have something to do.
+
+Asserted invariants:
+
+* **no dropped or errored requests** — every request answers 200;
+* **conservation** — every admitted request either executed a job or
+  coalesced onto one (``jobs_executed + coalesced == requests``, from
+  the server's own counters, not client-side guesses);
+* **coalescing fired** — the coalesce rate clears an absolute floor,
+  and with ``--baseline`` at least ``MIN_COALESCE_VS_BASELINE`` of the
+  committed run's rate (the mix is seeded, so the overlap structure is
+  reproducible even though exact timing is not);
+* **the shared cache fired** — a campaign with far more requests than
+  unique fingerprints must see cache hits;
+* **byte-identity** — a served artifact equals a direct
+  :func:`compile_kernel` call, byte for byte, same cache key;
+* with ``--baseline``, p99 latency has not regressed past the
+  committed ``BENCH_serve.json`` by more than ``--max-regression``
+  (generous by default: shared CI runners are noisy).
+
+Artifacts: ``BENCH_serve.json`` (the canonical load-test report) and
+optionally a Chrome trace of the daemon's ``serve.request`` spans.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py
+        [--requests N] [--concurrency N] [--out BENCH_serve.json]
+        [--trace FILE] [--baseline BENCH_serve.json]
+        [--max-regression 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from repro import obs
+from repro.compile import compile_kernel
+from repro.arch.cgra import CGRA
+from repro.serve import (
+    BackgroundServer,
+    HTTPClient,
+    LoadtestConfig,
+    canonical_json,
+    loadtest,
+    write_report,
+)
+
+#: The campaign: few kernels x few strategies so a few hundred
+#: requests pile onto ~16 unique fingerprints — the regime a shared
+#: daemon exists for.
+KERNELS = ("fir", "latnrm", "mvt", "spmv")
+STRATEGIES = ("baseline", "baseline+gating", "per_tile_dvfs", "iced")
+
+#: Absolute coalesce-rate floor: with this much overlap, a daemon that
+#: never merges identical in-flight work is broken, not unlucky.
+MIN_COALESCE_RATE = 0.05
+
+#: Relative floor against the committed baseline's coalesce rate.
+MIN_COALESCE_VS_BASELINE = 0.25
+
+#: Identity probe: served artifact vs a direct pipeline compile.
+PROBE = {"kernel": "fir", "strategy": "iced", "priority": "interactive"}
+
+
+def _probe_identity(url: str) -> None:
+    import asyncio
+
+    async def fetch():
+        async with HTTPClient(url, timeout_s=120.0) as client:
+            return await client.post("/compile", PROBE)
+
+    status, _, served = asyncio.run(fetch())
+    assert status == 200, f"identity probe failed: {served}"
+    direct = compile_kernel("fir", CGRA.build(6, 6, island_shape=(2, 2)),
+                            "iced")
+    assert served["key"] == direct.cache_key, "cache keys diverged"
+    assert canonical_json(served["mapping"]) == canonical_json(
+        direct.mapping.to_dict()
+    ), "served artifact is not byte-identical to a direct compile"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=240,
+                        help="campaign size (the CI gate runs >= 200)")
+    parser.add_argument("--concurrency", type=int, default=40,
+                        help="concurrent keep-alive connections")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon compile workers")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--trace", default=None,
+                        help="Chrome trace of the daemon's request spans")
+    parser.add_argument("--baseline", default=None,
+                        help="committed BENCH_serve.json to gate against")
+    parser.add_argument("--max-regression", type=float, default=2.0,
+                        help="allowed fractional p99 slowdown vs baseline")
+    args = parser.parse_args(argv)
+
+    tracer = obs.install_tracer() if args.trace else None
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        server = BackgroundServer(
+            workers=args.workers, max_queue=max(64, args.concurrency * 2),
+            cache_dir=tmp, shard="smoke",
+        ).start()
+        try:
+            print(f"serve smoke: daemon at {server.url} "
+                  f"({args.workers} workers, fresh cache shard)")
+            report = loadtest(LoadtestConfig(
+                url=server.url, requests=args.requests,
+                concurrency=args.concurrency, seed=args.seed,
+                kernels=KERNELS, strategies=STRATEGIES,
+            ))
+            _probe_identity(server.url)
+        finally:
+            server.stop()
+    if tracer is not None:
+        obs.uninstall_tracer()
+        obs.write_chrome_trace(args.trace, tracer)
+        print(f"wrote {args.trace}")
+
+    latency = report["latency_ms"]
+    print(f"requests   {report['requests_sent']} "
+          f"({args.concurrency} connections) in "
+          f"{report['duration_s']:.2f}s -> "
+          f"{report['throughput_rps']:.1f} req/s")
+    print(f"latency    p50 {latency['p50']:.1f} ms   "
+          f"p99 {latency['p99']:.1f} ms   max {latency['max']:.1f} ms")
+    print(f"coalesce   rate {report['coalesce_rate']:.3f} "
+          f"({report['coalesced']} coalesced, "
+          f"{report['jobs_executed']} jobs, "
+          f"{report['unique_fingerprints']} unique fingerprints)")
+    print(f"cache      hit rate {report['cache_hit_rate']:.3f}")
+
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+
+    failures: list[str] = []
+
+    def gate(condition: bool, message: str) -> None:
+        if not condition:
+            print(f"FAIL: {message}", file=sys.stderr)
+            failures.append(message)
+
+    sent = report["requests_sent"]
+    gate(sent == args.requests,
+         f"sent {sent} of {args.requests} requests")
+    gate(report["status_counts"] == {"200": sent},
+         f"non-200 responses: {report['status_counts']}")
+    gate(report["jobs_executed"] + report["coalesced"] == sent,
+         "conservation broken: jobs + coalesced != requests "
+         f"({report['jobs_executed']} + {report['coalesced']} != {sent})")
+    gate(report["coalesce_rate"] >= MIN_COALESCE_RATE,
+         f"coalesce rate {report['coalesce_rate']:.3f} below the "
+         f"{MIN_COALESCE_RATE} floor")
+    gate(report["unique_fingerprints"]
+         <= len(KERNELS) * len(STRATEGIES),
+         "more unique fingerprints than the mix can produce")
+    gate(report["cache_hit_rate"] > 0.0,
+         "the shared cache never served a hit")
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            base = json.load(fh)
+        p99_budget = (base["latency_ms"]["p99"]
+                      * (1.0 + args.max_regression))
+        coalesce_floor = (base["coalesce_rate"]
+                          * MIN_COALESCE_VS_BASELINE)
+        print(f"baseline gate: p99 {latency['p99']:.1f} ms vs budget "
+              f"{p99_budget:.1f} ms (committed "
+              f"{base['latency_ms']['p99']} ms "
+              f"+{args.max_regression:.0%}); coalesce "
+              f"{report['coalesce_rate']:.3f} vs floor "
+              f"{coalesce_floor:.3f}")
+        gate(latency["p99"] <= p99_budget,
+             f"p99 {latency['p99']:.1f} ms regressed past the "
+             f"{p99_budget:.1f} ms budget")
+        gate(report["coalesce_rate"] >= coalesce_floor,
+             f"coalesce rate fell below {MIN_COALESCE_VS_BASELINE:.0%} "
+             "of the committed baseline")
+
+    print("serve smoke: OK" if not failures else "serve smoke: FAILED")
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ Usage::
     python -m repro dse --fabrics 4x4,6x6 --vf 3,4  # Pareto design sweep
     python -m repro map fir --backend exact       # provably optimal II
     python -m repro map fir --portfolio --jobs 3  # race the backends
+    python -m repro serve --port 8763             # compile-as-a-service
+    python -m repro loadtest --requests 500       # hammer a daemon
 """
 
 from __future__ import annotations
@@ -39,6 +41,7 @@ from repro.compile import (
 from repro.kernels.suite import kernel_names
 from repro.mapper.backends import (
     DEFAULT_PORTFOLIO,
+    EXPERIMENT_STRATEGIES,
     backend_names,
     describe_backends,
     strategy_choices,
@@ -529,6 +532,119 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the compile-as-a-service daemon until SIGINT/SIGTERM, then
+    drain gracefully (every admitted request is answered)."""
+    import asyncio
+    import signal
+
+    from repro.serve import CompileServer, CompileService
+
+    service = CompileService(
+        workers=args.workers, max_queue=args.max_queue,
+        cache_dir=args.cache_dir, shard=args.shard,
+        retry_after_s=args.retry_after,
+    )
+    server = CompileServer(service, host=args.host, port=args.port)
+
+    async def _amain():
+        await server.start()
+        shard = f", shard={args.shard}" if args.shard else ""
+        print(f"repro serve: listening on {server.url} "
+              f"(workers={service.workers}, "
+              f"max_queue={service.max_queue}{shard})")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await stop.wait()
+        except asyncio.CancelledError:
+            pass
+        print("repro serve: draining in-flight requests...")
+        await server.shutdown()
+        print("repro serve: drained, bye")
+
+    with _tracing(args.trace):
+        try:
+            asyncio.run(_amain())
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    """Replay a deterministic request mix against a running daemon (or
+    a self-hosted one) and print/write the canonical report."""
+    import json as _json
+    import tempfile
+
+    from repro.serve import (
+        BackgroundServer,
+        LoadtestConfig,
+        LoadtestError,
+        loadtest,
+        write_report,
+    )
+
+    def build_config(url: str) -> LoadtestConfig:
+        return LoadtestConfig(
+            url=url, requests=args.requests,
+            concurrency=args.concurrency, seed=args.seed,
+            kernels=tuple(k for k in args.kernels.split(",") if k),
+            strategies=tuple(s for s in args.strategies.split(",") if s),
+            backends=tuple(b for b in args.backends.split(",") if b),
+            stream_fraction=args.stream_fraction,
+            interactive_fraction=args.interactive_fraction,
+            timeout_s=args.timeout_s,
+        )
+
+    try:
+        if args.url:
+            report = loadtest(build_config(args.url))
+        else:
+            # Self-host: a real daemon over real sockets on an
+            # ephemeral port, with a private disk-cache shard.
+            with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+                server = BackgroundServer(
+                    workers=args.workers, max_queue=args.max_queue,
+                    cache_dir=tmp, shard="loadtest",
+                ).start()
+                try:
+                    report = loadtest(build_config(server.url))
+                finally:
+                    server.stop()
+    except LoadtestError as exc:
+        print(f"loadtest: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(report, sort_keys=True, indent=2))
+    else:
+        latency = report["latency_ms"]
+        print(f"loadtest: {report['requests_sent']} requests "
+              f"({report['config']['concurrency']} connections) in "
+              f"{report['duration_s']:.2f}s -> "
+              f"{report['throughput_rps']:.1f} req/s")
+        print(f"latency : p50 {latency['p50']:.1f} ms   "
+              f"p99 {latency['p99']:.1f} ms   "
+              f"max {latency['max']:.1f} ms")
+        print(f"coalesce: rate {report['coalesce_rate']:.3f} "
+              f"({report['coalesced']} coalesced, "
+              f"{report['jobs_executed']} executed, "
+              f"{report['unique_fingerprints']} unique)")
+        print(f"cache   : hit rate {report['cache_hit_rate']:.3f}")
+        print(f"status  : {report['status_counts']}"
+              + (f"  ({report['rejected_429']} rejected)"
+                 if report["rejected_429"] else ""))
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -727,6 +843,64 @@ def main(argv: list[str] | None = None) -> int:
     dse.add_argument("--trace", default=None, metavar="FILE",
                      help="write a Chrome/Perfetto trace of the sweep")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the compile-as-a-service daemon (see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8763,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="compile worker threads sharing one cache")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission bound; beyond this new requests "
+                            "get 429 + Retry-After")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persistent on-disk mapping cache directory "
+                            "(default: in-memory only)")
+    serve.add_argument("--shard", default=None,
+                       help="private disk-cache shard name for this "
+                            "server (reads through peer shards)")
+    serve.add_argument("--retry-after", type=float, default=1.0,
+                       help="Retry-After seconds on 429 responses")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace (.jsonl for JSONL) of "
+                            "the daemon's request spans")
+
+    lt = sub.add_parser(
+        "loadtest",
+        help="replay a deterministic request mix against a daemon and "
+             "report throughput/latency/coalescing",
+    )
+    lt.add_argument("--url", default=None,
+                    help="target daemon (default: self-host one on an "
+                         "ephemeral port for the duration of the run)")
+    lt.add_argument("--requests", type=int, default=1000)
+    lt.add_argument("--concurrency", type=int, default=50,
+                    help="concurrent keep-alive connections")
+    lt.add_argument("--seed", type=int, default=0,
+                    help="request-mix seed (same seed -> same campaign)")
+    lt.add_argument("--kernels", default="",
+                    help="comma list (default: the whole Table I suite)")
+    lt.add_argument("--strategies",
+                    default=",".join(EXPERIMENT_STRATEGIES))
+    lt.add_argument("--backends", default="engine",
+                    help="comma list of mapper backends to mix in")
+    lt.add_argument("--stream-fraction", type=float, default=0.0,
+                    help="fraction of requests hitting POST /stream")
+    lt.add_argument("--interactive-fraction", type=float, default=0.25,
+                    help="fraction submitted at interactive priority")
+    lt.add_argument("--timeout-s", type=float, default=300.0,
+                    help="per-request client timeout")
+    lt.add_argument("--workers", type=int, default=2,
+                    help="self-host mode: daemon worker threads")
+    lt.add_argument("--max-queue", type=int, default=64,
+                    help="self-host mode: daemon admission bound")
+    lt.add_argument("--json", action="store_true",
+                    help="print the full canonical report as JSON")
+    lt.add_argument("--out", default=None, metavar="FILE",
+                    help="write the canonical report here")
+
     cache = sub.add_parser(
         "cache", help="inspect the persistent on-disk mapping cache"
     )
@@ -752,6 +926,8 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cmd_cache,
         "backends": cmd_backends,
         "dse": cmd_dse,
+        "serve": cmd_serve,
+        "loadtest": cmd_loadtest,
     }
     return handlers[args.command](args)
 

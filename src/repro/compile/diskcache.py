@@ -32,9 +32,22 @@ Layout on disk (``SCHEMA_VERSION`` bumps orphan old trees wholesale)::
 
     .repro-cache/
       v1/
-        ab/abcdef....json      # artifact, sharded by key prefix
+        ab/abcdef....json      # artifact, fanned out by key prefix
         ...
       quarantine/              # corrupt artifacts, moved aside
+      shards/                  # per-server cache shards (repro serve)
+        api-0/
+          v1/ab/abcdef....json
+          quarantine/
+
+**Cache shards.** A ``DiskCache(root, shard="api-0")`` *writes* only
+under its private ``shards/api-0/`` subtree but *reads* through every
+sibling shard (and the unsharded tree) on a local miss — so N daemons
+pointed at one artifact store share each other's compiles without ever
+contending on the same artifact files, and without trusting them: a
+peer's artifact passes exactly the same envelope validation, except
+that a corrupt peer file is skipped rather than quarantined (it is not
+ours to move).
 """
 
 from __future__ import annotations
@@ -76,6 +89,7 @@ class DiskCacheStats:
     stores: int = 0
     quarantined: int = 0
     evictions: int = 0
+    peer_hits: int = 0
 
     def to_dict(self) -> dict[str, int]:
         return {
@@ -84,6 +98,7 @@ class DiskCacheStats:
             "stores": self.stores,
             "quarantined": self.quarantined,
             "evictions": self.evictions,
+            "peer_hits": self.peer_hits,
         }
 
 
@@ -96,10 +111,14 @@ class DiskCache:
     read path degrade to a miss.
     """
 
-    def __init__(self, root: str | Path | None = None):
+    def __init__(self, root: str | Path | None = None,
+                 shard: str | None = None):
         self.root = Path(root) if root is not None else Path(default_cache_root())
-        self.version_dir = self.root / f"v{SCHEMA_VERSION}"
-        self.quarantine_dir = self.root / "quarantine"
+        self.shard = str(shard) if shard else None
+        base = (self.root / "shards" / self.shard if self.shard
+                else self.root)
+        self.version_dir = base / f"v{SCHEMA_VERSION}"
+        self.quarantine_dir = base / "quarantine"
         self.stats = DiskCacheStats()
 
     # -- paths --------------------------------------------------------------
@@ -107,8 +126,31 @@ class DiskCache:
     def _path(self, key: str) -> Path:
         return self.version_dir / key[:2] / f"{key}.json"
 
+    def _peer_version_dirs(self) -> list[Path]:
+        """Version dirs of every *other* writer over the same root:
+        the unsharded tree (when we are a shard) plus each sibling
+        shard, in sorted order for deterministic read preference."""
+        peers: list[Path] = []
+        unsharded = self.root / f"v{SCHEMA_VERSION}"
+        if self.shard and unsharded.is_dir():
+            peers.append(unsharded)
+        shards_dir = self.root / "shards"
+        if shards_dir.is_dir():
+            for entry in sorted(shards_dir.iterdir()):
+                if self.shard is not None and entry.name == self.shard:
+                    continue
+                version_dir = entry / f"v{SCHEMA_VERSION}"
+                if version_dir.is_dir():
+                    peers.append(version_dir)
+        return peers
+
+    def _peer_path(self, version_dir: Path, key: str) -> Path:
+        return version_dir / key[:2] / f"{key}.json"
+
     def artifact_paths(self) -> list[Path]:
-        """Every artifact file currently on disk, sorted by name."""
+        """Every *own* artifact file currently on disk, sorted by name
+        (peer shards are read-through only — housekeeping never
+        crosses a shard boundary)."""
         if not self.version_dir.is_dir():
             return []
         return sorted(self.version_dir.glob("*/*.json"))
@@ -126,49 +168,87 @@ class DiskCache:
         they are servable only for the default ``engine`` backend
         (whose keys they were computed under — the pipeline still
         revalidates them), and quarantined for any other expectation.
+
+        A miss in the own tree falls through to peer shards (other
+        servers over the same root); a peer's artifact is validated
+        identically, but a corrupt one is *skipped*, never quarantined.
         """
         path = self._path(key)
         try:
             data = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
-            return None
-        try:
-            envelope = json.loads(data.decode("utf-8"))
-            if not isinstance(envelope, dict):
-                raise ValueError("artifact is not a JSON object")
-            if envelope.get("schema") != SCHEMA_VERSION:
-                raise ValueError("schema tag mismatch")
-            if envelope.get("key") != key:
-                raise ValueError("key mismatch (misfiled artifact)")
-            if backend is not None:
-                tagged = envelope.get("backend", "engine")
-                if tagged != backend:
-                    raise ValueError(
-                        f"backend mismatch: artifact is {tagged!r}, "
-                        f"caller expects {backend!r}"
-                    )
-            mapping_dict = envelope["mapping"]
-            if not isinstance(mapping_dict, dict):
-                raise ValueError("mapping payload is not an object")
-        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
-            self._quarantine(path)
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
+            data = None
+        if data is not None:
+            try:
+                blob = self._validated_blob(data, key, backend)
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                self._quarantine(path)
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return blob
+        for version_dir in self._peer_version_dirs():
+            try:
+                data = self._peer_path(version_dir, key).read_bytes()
+            except OSError:
+                continue
+            try:
+                blob = self._validated_blob(data, key, backend)
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+                continue  # a peer's corrupt artifact is not ours to move
+            self.stats.hits += 1
+            self.stats.peer_hits += 1
+            return blob
+        self.stats.misses += 1
+        return None
+
+    @staticmethod
+    def _validated_blob(data: bytes, key: str,
+                        backend: str | None) -> str:
+        """Envelope validation; raises ``ValueError`` family on any
+        disagreement, returns the canonical mapping blob."""
+        envelope = json.loads(data.decode("utf-8"))
+        if not isinstance(envelope, dict):
+            raise ValueError("artifact is not a JSON object")
+        if envelope.get("schema") != SCHEMA_VERSION:
+            raise ValueError("schema tag mismatch")
+        if envelope.get("key") != key:
+            raise ValueError("key mismatch (misfiled artifact)")
+        if backend is not None:
+            tagged = envelope.get("backend", "engine")
+            if tagged != backend:
+                raise ValueError(
+                    f"backend mismatch: artifact is {tagged!r}, "
+                    f"caller expects {backend!r}"
+                )
+        mapping_dict = envelope["mapping"]
+        if not isinstance(mapping_dict, dict):
+            raise ValueError("mapping payload is not an object")
         return json.dumps(mapping_dict, sort_keys=True,
                           separators=(",", ":"))
+
+    def _envelope(self, key: str) -> dict | None:
+        """The raw envelope under ``key``, own tree first, then peers."""
+        paths = [self._path(key)] + [
+            self._peer_path(d, key) for d in self._peer_version_dirs()
+        ]
+        for path in paths:
+            try:
+                envelope = json.loads(path.read_bytes().decode("utf-8"))
+            except (OSError, ValueError, UnicodeDecodeError):
+                continue
+            if isinstance(envelope, dict):
+                return envelope
+        return None
 
     def meta(self, key: str) -> dict:
         """Provenance of the artifact under ``key`` (empty on miss):
         the producing ``backend``, its ``optimal`` proof flag, the
-        mapping ``cost`` and any ``upgraded_from`` history."""
-        path = self._path(key)
-        try:
-            envelope = json.loads(path.read_bytes().decode("utf-8"))
-        except (OSError, ValueError, UnicodeDecodeError):
-            return {}
-        if not isinstance(envelope, dict):
+        mapping ``cost`` and any ``upgraded_from`` history. Peer
+        shards are consulted on an own-tree miss, matching
+        :meth:`load_blob`."""
+        envelope = self._envelope(key)
+        if envelope is None:
             return {}
         out = {}
         for field_name in ("backend", "optimal", "cost", "ii",
@@ -243,7 +323,10 @@ class DiskCache:
         payload = json.dumps(envelope, sort_keys=True,
                              separators=(",", ":"))
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        # os.makedirs(exist_ok=True) end to end: two processes
+        # initializing the same cache root simultaneously must both
+        # succeed (the EEXIST race is swallowed at every level).
+        os.makedirs(path.parent, exist_ok=True)
         # Private temp name (pid + monotonic ns) in the same directory,
         # then an atomic rename: a concurrent reader sees old-or-new,
         # never a prefix; a concurrent writer's replace simply wins.
@@ -338,7 +421,7 @@ class DiskCache:
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt artifact aside (best effort, never raises)."""
         try:
-            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.makedirs(self.quarantine_dir, exist_ok=True)
             target = self.quarantine_dir / (
                 f"{path.name}.{os.getpid()}.{time.monotonic_ns()}.bad"
             )
@@ -348,7 +431,10 @@ class DiskCache:
             pass
 
     def __contains__(self, key: str) -> bool:
-        return self._path(key).is_file()
+        if self._path(key).is_file():
+            return True
+        return any(self._peer_path(d, key).is_file()
+                   for d in self._peer_version_dirs())
 
     def __len__(self) -> int:
         return len(self.artifact_paths())

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 
@@ -52,7 +53,7 @@ def main(argv: list[str] | None = None) -> int:
 
     save_dir = pathlib.Path(args.save) if args.save else None
     if save_dir is not None:
-        save_dir.mkdir(parents=True, exist_ok=True)
+        os.makedirs(save_dir, exist_ok=True)
 
     ids = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [
         args.experiment

@@ -27,6 +27,7 @@ already pins.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro import obs
@@ -202,7 +203,7 @@ def write_envelope(envelope: dict, path: str | Path) -> None:
     """Write an envelope canonically (sorted keys, trailing newline) so
     regeneration produces byte-stable diffs."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    os.makedirs(path.parent, exist_ok=True)
     path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n")
 
 

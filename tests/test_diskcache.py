@@ -152,6 +152,90 @@ class TestCorruption:
         assert cache.quarantined_count() == 1
 
 
+# -- shards -------------------------------------------------------------------
+
+
+class TestShards:
+    """Per-server cache shards: private writes, read-through peers."""
+
+    KEY = "ab" * 16
+
+    def test_shard_writes_stay_in_its_subtree(self, tmp_path):
+        shard = DiskCache(tmp_path, shard="api-0")
+        shard.store_serialized(self.KEY, canon({"x": 1}))
+        artifact = shard._path(self.KEY)
+        assert artifact.is_relative_to(tmp_path / "shards" / "api-0")
+        # The unsharded tree saw nothing.
+        assert DiskCache(tmp_path).artifact_paths() == []
+        assert shard.load_blob(self.KEY) == canon({"x": 1})
+        assert shard.stats.peer_hits == 0
+
+    def test_shard_reads_through_unsharded_tree(self, tmp_path):
+        DiskCache(tmp_path).store_serialized(self.KEY, canon({"x": 1}))
+        shard = DiskCache(tmp_path, shard="api-0")
+        assert self.KEY in shard
+        assert shard.load_blob(self.KEY) == canon({"x": 1})
+        assert shard.stats.peer_hits == 1
+        assert shard.stats.hits == 1
+
+    def test_shards_read_each_other(self, tmp_path):
+        writer = DiskCache(tmp_path, shard="api-0")
+        writer.store_serialized(self.KEY, canon({"x": 1}), backend="engine")
+        reader = DiskCache(tmp_path, shard="api-1")
+        assert reader.load_blob(self.KEY, "engine") == canon({"x": 1})
+        assert reader.stats.peer_hits == 1
+        # Peer artifacts round-trip provenance too.
+        assert reader.meta(self.KEY)["backend"] == "engine"
+        # The unsharded reader also sees shard artifacts.
+        agnostic = DiskCache(tmp_path)
+        assert agnostic.load_blob(self.KEY) == canon({"x": 1})
+        assert agnostic.stats.peer_hits == 1
+
+    def test_own_tree_wins_over_peers(self, tmp_path):
+        DiskCache(tmp_path, shard="api-0").store_serialized(
+            self.KEY, canon({"from": "peer"}))
+        mine = DiskCache(tmp_path, shard="api-1")
+        mine.store_serialized(self.KEY, canon({"from": "me"}))
+        assert mine.load_blob(self.KEY) == canon({"from": "me"})
+        assert mine.stats.peer_hits == 0
+
+    def test_corrupt_peer_is_skipped_never_quarantined(self, tmp_path):
+        peer = DiskCache(tmp_path, shard="api-0")
+        peer.store_serialized(self.KEY, canon({"x": 1}))
+        peer._path(self.KEY).write_bytes(b"\x00garbage")
+        reader = DiskCache(tmp_path, shard="api-1")
+        assert reader.load_blob(self.KEY) is None
+        assert reader.stats.misses == 1
+        # Not ours to move: the peer's file stays exactly where it was.
+        assert peer._path(self.KEY).read_bytes() == b"\x00garbage"
+        assert reader.quarantined_count() == 0
+        assert peer.quarantined_count() == 0
+
+    def test_mismatched_peer_backend_is_a_plain_miss(self, tmp_path):
+        peer = DiskCache(tmp_path, shard="api-0")
+        peer.store_serialized(self.KEY, canon({"x": 1}), backend="exact")
+        reader = DiskCache(tmp_path, shard="api-1")
+        assert reader.load_blob(self.KEY, "engine") is None
+        assert peer._path(self.KEY).exists()
+        assert reader.load_blob(self.KEY, "exact") == canon({"x": 1})
+
+    def test_housekeeping_never_crosses_shards(self, tmp_path):
+        peer = DiskCache(tmp_path, shard="api-0")
+        peer.store_serialized(self.KEY, canon({"x": 1}))
+        mine = DiskCache(tmp_path, shard="api-1")
+        mine.store_serialized("cd" * 16, canon({"y": 2}))
+        assert len(mine) == 1
+        assert mine.clear() == 1
+        assert peer.load_blob(self.KEY) == canon({"x": 1})
+        assert mine.gc(max_entries=0) == 0
+
+    def test_stats_dict_reports_peer_hits(self, tmp_path):
+        DiskCache(tmp_path).store_serialized(self.KEY, canon({"x": 1}))
+        shard = DiskCache(tmp_path, shard="api-0")
+        shard.load_blob(self.KEY)
+        assert shard.stats_dict()["peer_hits"] == 1
+
+
 # -- concurrency --------------------------------------------------------------
 
 
@@ -159,6 +243,18 @@ def _hammer(root: str, key: str, blob: str, n: int) -> None:
     cache = DiskCache(root)
     for _ in range(n):
         cache.store_serialized(key, blob)
+
+
+def _cold_start(root: str, shard: str, barrier, n: int) -> None:
+    """Simulate a daemon's cold start: construct the cache against a
+    root that does not exist yet and immediately write through it —
+    every process races the same directory creations."""
+    cache = DiskCache(root, shard=shard)
+    barrier.wait(timeout=30)
+    for i in range(n):
+        key = f"{i:02x}" * 16
+        cache.store_serialized(key, canon({"shard": shard, "i": i}))
+        assert cache.load_blob(key) is not None
 
 
 class TestConcurrentWriters:
@@ -200,6 +296,35 @@ class TestConcurrentWriters:
             p for p in reader.version_dir.rglob("*") if p.suffix == ".tmp"
         ]
         assert leftovers == []
+
+    def test_two_process_cold_start_never_races_mkdir(self, tmp_path):
+        """Two daemons starting simultaneously against a cache root
+        that does not exist yet must both succeed: every directory
+        creation on the write path is ``exist_ok`` end to end."""
+        root = tmp_path / "fresh-root"  # deliberately not created
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        barrier = ctx.Barrier(2)
+        procs = [
+            ctx.Process(target=_cold_start,
+                        args=(str(root), shard, barrier, 25))
+            for shard in ("api-0", "api-1")
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+        for p in procs:
+            assert p.exitcode == 0, "cold-start writer crashed"
+        # Both shards fully populated, readable through each other.
+        reader = DiskCache(root, shard="api-0")
+        assert len(reader) == 25
+        assert reader.load_blob("18" * 16) is not None  # own
+        fresh = DiskCache(root, shard="api-2")
+        assert fresh.load_blob("18" * 16) is not None  # peer
+        assert fresh.stats.peer_hits == 1
 
 
 # -- tiering ------------------------------------------------------------------

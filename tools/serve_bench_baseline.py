@@ -1,0 +1,43 @@
+"""Regenerate the committed ``BENCH_serve.json`` baseline.
+
+Runs the same campaign as the CI serve smoke (``benchmarks/
+serve_smoke.py``) without any baseline gate and writes the canonical
+report to the repository root. Run it on a quiet machine after a
+change that legitimately moves the daemon's latency or coalescing
+profile, review the diff, and commit the result::
+
+    PYTHONPATH=src python tools/serve_bench_baseline.py
+
+Pass through any serve-smoke flag to vary the campaign (the defaults
+are what CI replays)::
+
+    PYTHONPATH=src python tools/serve_bench_baseline.py --requests 500
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from benchmarks import serve_smoke  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not any(a == "--out" or a.startswith("--out=") for a in argv):
+        argv += ["--out", os.path.join(REPO_ROOT, "BENCH_serve.json")]
+    if any(a == "--baseline" or a.startswith("--baseline=")
+           for a in argv):
+        print("refusing --baseline: the regenerator writes the "
+              "baseline, it does not gate against one",
+              file=sys.stderr)
+        return 2
+    return serve_smoke.main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
