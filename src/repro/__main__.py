@@ -353,6 +353,78 @@ def cmd_scenarios(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    """Simulate a multi-tenant fleet (``run``) or compare every
+    registered placement strategy over the same fleet (``table``)."""
+    import json as _json
+
+    from repro.errors import FleetError
+    from repro.fleet import (
+        FleetSim,
+        TenantSLO,
+        canonical_report,
+        placement_names,
+        render_fleet_summary,
+        synthesize_fleet,
+        write_report,
+    )
+    from repro.utils.tables import TextTable
+
+    slo = None
+    if args.slo_p99 is not None or args.slo_energy is not None:
+        slo = TenantSLO(p99_latency_cycles=args.slo_p99,
+                        energy_budget_uj=args.slo_energy)
+    failed = tuple(int(f) for f in args.failed.split(",") if f)
+
+    def run_fleet(placement: str) -> dict:
+        spec = synthesize_fleet(
+            args.tenants, args.fabrics,
+            scenarios=tuple(s for s in args.scenarios.split(",") if s),
+            strategies=tuple(s for s in args.strategies.split(",") if s),
+            inputs=args.inputs, window=args.window,
+            placement=placement, seed=args.seed,
+            failed_fabrics=failed, slo=slo,
+        )
+        return FleetSim(spec).run(
+            jobs=args.jobs, use_cache=not args.no_cache,
+            cache_dir=args.cache_dir, batched=not args.reference,
+        )
+
+    try:
+        with _tracing(args.trace):
+            if args.action == "run":
+                report = run_fleet(args.placement)
+                if args.json:
+                    print(_json.dumps(report, indent=2, sort_keys=True))
+                else:
+                    print(render_fleet_summary(report))
+                if args.out:
+                    write_report(canonical_report(report), args.out)
+                    print(f"wrote {args.out}")
+                return 0
+            # table: the same fleet under every placement strategy.
+            table = TextTable(["placement", "max load cyc", "mean util",
+                               "energy mJ", "SLO viol", "sim s"])
+            for name in placement_names():
+                report = run_fleet(name)
+                rollup = report["rollup"]
+                table.add_row([
+                    name,
+                    f"{rollup['max_fabric_load_cycles']:,.0f}",
+                    f"{rollup['mean_utilization']:.3f}",
+                    f"{rollup['total_energy_uj'] / 1e3:.1f}",
+                    rollup["slo_violations"],
+                    f"{report['stats']['simulate_s']:.2f}",
+                ])
+            print(f"fleet table: {args.tenants} tenants on "
+                  f"{args.fabrics} fabrics, every placement strategy")
+            print(table.render())
+            return 0
+    except FleetError as exc:
+        print(f"fleet: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_trace(args) -> int:
     """One end-to-end traced run: compile, simulate, stream.
 
@@ -473,10 +545,16 @@ def cmd_dse(args) -> int:
             unroll=args.unroll,
             iterations=args.iterations,
         )
-    with _tracing(args.trace):
-        result = run_dse(space, jobs=args.jobs,
-                         cache_dir=args.cache_dir, seed=args.seed,
-                         naive=args.naive)
+    from repro.errors import DSEError
+
+    try:
+        with _tracing(args.trace):
+            result = run_dse(space, jobs=args.jobs,
+                             cache_dir=args.cache_dir, seed=args.seed,
+                             naive=args.naive, resume=args.resume)
+    except DSEError as exc:
+        print(f"dse: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         print(json.dumps(result, sort_keys=True, indent=2))
     else:
@@ -544,6 +622,7 @@ def cmd_serve(args) -> int:
         workers=args.workers, max_queue=args.max_queue,
         cache_dir=args.cache_dir, shard=args.shard,
         retry_after_s=args.retry_after,
+        tenant_quota=args.tenant_quota,
     )
     server = CompileServer(service, host=args.host, port=args.port)
 
@@ -745,6 +824,55 @@ def main(argv: list[str] | None = None) -> int:
     scenarios.add_argument("--no-cache", action="store_true",
                            help="bypass the mapping cache")
 
+    fleet = sub.add_parser(
+        "fleet", help="multi-tenant fleet simulator: N scenario-bound "
+                      "tenants across M fabrics (see docs/fleet.md)"
+    )
+    fleet.add_argument("action", choices=("run", "table"),
+                       help="run one placement, or compare every "
+                            "registered placement over the same fleet")
+    fleet.add_argument("--tenants", type=int, default=100)
+    fleet.add_argument("--fabrics", type=int, default=8)
+    fleet.add_argument("--placement", default="load_balanced",
+                       help="placement strategy for `run` "
+                            "(see repro.fleet.placement_names)")
+    fleet.add_argument("--scenarios",
+                       default="enzyme,diurnal,bursty,trace_fleet",
+                       help="comma list of scenarios tenants cycle")
+    fleet.add_argument("--strategies", default="iced",
+                       help="comma list of DVFS strategies tenants cycle "
+                            "(iced, static, drips)")
+    fleet.add_argument("--inputs", type=int, default=288,
+                       help="stream length per tenant (288 = one "
+                            "simulated day at 5-minute bins)")
+    fleet.add_argument("--window", type=int, default=10)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--failed", default="",
+                       help="comma list of failed fabric ids to exclude")
+    fleet.add_argument("--slo-p99", type=float, default=None,
+                       metavar="CYCLES",
+                       help="per-tenant p99 latency SLO (cycles/input)")
+    fleet.add_argument("--slo-energy", type=float, default=None,
+                       metavar="UJ",
+                       help="per-tenant energy budget SLO (uJ)")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="processes for the compile phase (the fleet "
+                            "report is bit-identical across jobs counts)")
+    fleet.add_argument("--reference", action="store_true",
+                       help="use the sequential per-tenant reference "
+                            "loop instead of the batched engine")
+    fleet.add_argument("--no-cache", action="store_true",
+                       help="bypass the mapping cache")
+    fleet.add_argument("--cache-dir", default=None,
+                       help="persistent on-disk mapping cache directory")
+    fleet.add_argument("--json", action="store_true",
+                       help="print the full report as JSON (run)")
+    fleet.add_argument("--out", default=None, metavar="FILE",
+                       help="write the canonical report JSON (run)")
+    fleet.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a Chrome trace (.jsonl for JSONL) of "
+                            "the fleet phases")
+
     trace_cmd = sub.add_parser(
         "trace", help="trace one kernel end to end (compile, simulate, "
                       "stream) into a Chrome/Perfetto JSON file"
@@ -831,6 +959,11 @@ def main(argv: list[str] | None = None) -> int:
     dse.add_argument("--cache-dir", default=None,
                      help="share an on-disk mapping cache across runs "
                           "and pool workers (default: in-memory only)")
+    dse.add_argument("--resume", default=None, metavar="FILE",
+                     help="point-row manifest checkpointed after every "
+                          "fabric group; rerunning with the same space "
+                          "replays completed points instead of "
+                          "recompiling them")
     dse.add_argument("--naive", action="store_true",
                      help="disable all cross-point reuse (benchmark "
                           "baseline; results are identical, just slow)")
@@ -863,6 +996,11 @@ def main(argv: list[str] | None = None) -> int:
                             "server (reads through peer shards)")
     serve.add_argument("--retry-after", type=float, default=1.0,
                        help="Retry-After seconds on 429 responses")
+    serve.add_argument("--tenant-quota", type=int, default=None,
+                       metavar="N",
+                       help="max pending requests per tenant tag; beyond "
+                            "this a tenant's new requests get 429 "
+                            "(default: unlimited)")
     serve.add_argument("--trace", default=None, metavar="FILE",
                        help="write a Chrome trace (.jsonl for JSONL) of "
                             "the daemon's request spans")
@@ -920,6 +1058,7 @@ def main(argv: list[str] | None = None) -> int:
         "map": cmd_map,
         "stream": cmd_stream,
         "scenarios": cmd_scenarios,
+        "fleet": cmd_fleet,
         "trace": cmd_trace,
         "experiments": cmd_experiments,
         "profile": cmd_profile,

@@ -120,28 +120,59 @@ class DiskCache:
         self.version_dir = base / f"v{SCHEMA_VERSION}"
         self.quarantine_dir = base / "quarantine"
         self.stats = DiskCacheStats()
+        self._peers_epoch = 0
+        self._peers_cache: tuple[int, list[Path]] | None = None
 
     # -- paths --------------------------------------------------------------
 
     def _path(self, key: str) -> Path:
         return self.version_dir / key[:2] / f"{key}.json"
 
+    def invalidate_peers(self) -> None:
+        """Drop the memoized peer-shard listing.
+
+        Called on every own write (a writer knows the topology may have
+        changed — not least because its *own* first write creates a
+        shard) and from ``stats_dict`` (the natural refresh point:
+        servers poll ``/cache/stats``, so a long-lived daemon picks up
+        newly joined peer shards without rescanning per miss).
+        """
+        self._peers_epoch += 1
+
     def _peer_version_dirs(self) -> list[Path]:
         """Version dirs of every *other* writer over the same root:
         the unsharded tree (when we are a shard) plus each sibling
-        shard, in sorted order for deterministic read preference."""
+        shard, in sorted order for deterministic read preference.
+
+        The listing is memoized per :meth:`invalidate_peers` epoch: a
+        burst of misses (a cold sweep probing hundreds of keys) costs
+        one ``os.scandir`` of the shards directory, not one per miss —
+        the peer *artifact* probes are exact-path reads and stay
+        per-key.
+        """
+        cached = self._peers_cache
+        if cached is not None and cached[0] == self._peers_epoch:
+            return cached[1]
+        epoch = self._peers_epoch
         peers: list[Path] = []
         unsharded = self.root / f"v{SCHEMA_VERSION}"
         if self.shard and unsharded.is_dir():
             peers.append(unsharded)
         shards_dir = self.root / "shards"
-        if shards_dir.is_dir():
-            for entry in sorted(shards_dir.iterdir()):
-                if self.shard is not None and entry.name == self.shard:
-                    continue
-                version_dir = entry / f"v{SCHEMA_VERSION}"
-                if version_dir.is_dir():
-                    peers.append(version_dir)
+        try:
+            with os.scandir(shards_dir) as entries:
+                names = sorted(
+                    entry.name for entry in entries if entry.is_dir()
+                )
+        except OSError:
+            names = []
+        for name in names:
+            if self.shard is not None and name == self.shard:
+                continue
+            version_dir = shards_dir / name / f"v{SCHEMA_VERSION}"
+            if version_dir.is_dir():
+                peers.append(version_dir)
+        self._peers_cache = (epoch, peers)
         return peers
 
     def _peer_path(self, version_dir: Path, key: str) -> Path:
@@ -344,6 +375,7 @@ class DiskCache:
                 except OSError:
                     pass
         self.stats.stores += 1
+        self.invalidate_peers()
 
     def tag_sweep(self, key: str, space_hash: str,
                   point_index: int) -> bool:
@@ -380,6 +412,7 @@ class DiskCache:
                     tmp.unlink()
                 except OSError:
                     pass
+        self.invalidate_peers()
         return True
 
     def upgrade_best(self, key: str, blob: str, *, backend: str,
@@ -508,6 +541,7 @@ class DiskCache:
         return removed
 
     def stats_dict(self) -> dict[str, int]:
+        self.invalidate_peers()
         d = self.stats.to_dict()
         d["entries"] = len(self)
         d["bytes"] = self.size_bytes()

@@ -11,6 +11,7 @@ dse`` is the CLI entry point and ``docs/dse.md`` the narrative.
 from repro.dse.pareto import PARETO_AXES, dominates, pareto_front
 from repro.dse.space import DEFAULT_KERNELS, DesignPoint, DesignSpace
 from repro.dse.driver import (
+    ResumeManifest,
     build_fabric,
     render_summary,
     run_dse,
@@ -22,6 +23,7 @@ __all__ = [
     "DesignPoint",
     "DesignSpace",
     "PARETO_AXES",
+    "ResumeManifest",
     "build_fabric",
     "dominates",
     "pareto_front",

@@ -33,8 +33,10 @@ never from scheduling — and result rows carry no volatile fields, so
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import replace
+from pathlib import Path
 
 from repro import obs
 from repro.arch.cgra import CGRA
@@ -46,6 +48,7 @@ from repro.compile.parallel import SweepExecutor, SweepItem
 from repro.compile.pipeline import compile_kernel, resolve_config
 from repro.dse.pareto import PARETO_AXES, pareto_front
 from repro.dse.space import DesignPoint, DesignSpace
+from repro.errors import DSEError
 from repro.kernels import load_kernel
 from repro.mapper.exact import exact_lower_bound
 from repro.power.area import area_report
@@ -55,6 +58,86 @@ from repro.utils.tables import TextTable
 
 #: Result-file schema; bump on incompatible row changes.
 RESULT_SCHEMA = 1
+
+#: Resume-manifest schema; bump on incompatible manifest changes.
+RESUME_SCHEMA = 1
+
+
+class ResumeManifest:
+    """Sweep-level resume: the completed point rows of one space.
+
+    The manifest is canonical JSON (``{"schema", "space_hash",
+    "rows": {index: row}}``) rewritten *atomically after every fabric
+    group* — a sweep killed mid-flight loses at most the group in
+    progress, and a rerun with ``--resume`` replays the finished rows
+    from disk instead of recompiling them. Result rows are already
+    deterministic and volatile-free, so a resumed sweep's ``points``
+    and ``frontier`` are byte-equal to an uninterrupted one.
+
+    A manifest is bound to its design space by ``space_hash``: loading
+    it against any other space raises :class:`~repro.errors.DSEError`
+    rather than silently mixing rows from two sweeps.
+    """
+
+    def __init__(self, path: str | Path, space_hash: str):
+        self.path = Path(path)
+        self.space_hash = str(space_hash)
+        self.rows: dict[int, dict] = {}
+        if not self.path.exists():
+            return
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise DSEError(
+                f"unreadable resume manifest {self.path}: {exc}"
+            ) from None
+        if not isinstance(doc, dict) or doc.get("schema") != RESUME_SCHEMA:
+            raise DSEError(
+                f"resume manifest {self.path} has unsupported schema "
+                f"{doc.get('schema') if isinstance(doc, dict) else doc!r}"
+            )
+        if doc.get("space_hash") != self.space_hash:
+            raise DSEError(
+                f"resume manifest {self.path} belongs to space hash "
+                f"{doc.get('space_hash')!r}, not {self.space_hash!r} — "
+                f"refusing to mix sweeps"
+            )
+        rows = doc.get("rows", {})
+        if not isinstance(rows, dict):
+            raise DSEError(f"resume manifest {self.path} rows must be "
+                           f"an object")
+        self.rows = {int(index): row for index, row in rows.items()}
+
+    def record(self, rows: list[dict]) -> None:
+        for row in rows:
+            self.rows[int(row["index"])] = row
+
+    def flush(self) -> None:
+        """Atomically publish the manifest (tmp file + ``os.replace``)."""
+        payload = json.dumps(
+            {
+                "schema": RESUME_SCHEMA,
+                "space_hash": self.space_hash,
+                "rows": {str(i): self.rows[i] for i in sorted(self.rows)},
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        os.makedirs(self.path.parent, exist_ok=True)
+        tmp = self.path.with_name(
+            f".{self.path.name}.{os.getpid()}.{time.monotonic_ns()}.tmp"
+        )
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
 
 def build_fabric(point: DesignPoint) -> CGRA:
@@ -127,7 +210,8 @@ def run_dse(space: DesignSpace, *, jobs: int = 1,
             cache: object | None = None, cache_dir: str | None = None,
             seed: int = 0, naive: bool = False,
             skip_unmappable: bool = True,
-            blob_sink: dict | None = None) -> dict:
+            blob_sink: dict | None = None,
+            resume: str | Path | None = None) -> dict:
     """Sweep ``space`` and return the canonical result document:
     ``{schema, space, space_hash, points, frontier, stats}``.
 
@@ -139,9 +223,19 @@ def run_dse(space: DesignSpace, *, jobs: int = 1,
     given, receives every point's *final* canonical mapping JSON
     (``blob_sink[index] = blob``) — the bit-identity oracle the dse
     benchmark compares across naive/optimized/parallel runs.
+    ``resume`` names a :class:`ResumeManifest` path: completed rows
+    found there are replayed instead of recompiled, and the manifest is
+    atomically rewritten after every fabric group so an interrupted
+    sweep can pick up where it stopped. Unsupported with ``naive``
+    (whose whole point is to be cold).
     """
     points = space.expand()
     space_hash = space.space_hash()
+    if resume is not None and naive:
+        raise DSEError("resume is unsupported with the naive baseline "
+                       "(a resumed sweep would not be cold)")
+    manifest = (ResumeManifest(resume, space_hash)
+                if resume is not None else None)
     started = time.perf_counter()
     stats = {
         "points": len(points),
@@ -150,6 +244,7 @@ def run_dse(space: DesignSpace, *, jobs: int = 1,
         "aliased_blobs": 0,
         "sibling_ii_seeds": 0,
         "unmappable": 0,
+        "resumed": 0,
     }
     with obs.span("dse", category="dse", space=space.name,
                   space_hash=space_hash, points=len(points)):
@@ -159,7 +254,7 @@ def run_dse(space: DesignSpace, *, jobs: int = 1,
         else:
             rows = _run_optimized(points, space, space_hash, jobs,
                                   cache, cache_dir, seed, stats,
-                                  skip_unmappable, blob_sink)
+                                  skip_unmappable, blob_sink, manifest)
     rows.sort(key=lambda row: row["index"])
     frontier = pareto_front([r for r in rows if r["status"] == "ok"])
     stats["frontier_size"] = len(frontier)
@@ -232,8 +327,15 @@ def _point_key(point: DesignPoint, cgra: CGRA, dfg) -> tuple[str, object]:
 def _run_optimized(points: list[DesignPoint], space: DesignSpace,
                    space_hash: str, jobs: int, cache: object | None,
                    cache_dir: str | None, seed: int, stats: dict,
-                   skip_unmappable: bool,
-                   blob_sink: dict | None) -> list[dict]:
+                   skip_unmappable: bool, blob_sink: dict | None,
+                   manifest: ResumeManifest | None = None) -> list[dict]:
+    rows: list[dict] = []
+    if manifest is not None and manifest.rows:
+        # Replay completed rows; only the remainder compiles.
+        done = [p for p in points if p.index in manifest.rows]
+        rows.extend(manifest.rows[p.index] for p in done)
+        points = [p for p in points if p.index not in manifest.rows]
+        stats["resumed"] = len(done)
     if cache is None:
         cache = (TieredCache(MappingCache(), DiskCache(cache_dir))
                  if cache_dir else MappingCache())
@@ -254,16 +356,21 @@ def _run_optimized(points: list[DesignPoint], space: DesignSpace,
     for point in points:
         groups.setdefault(point.fabric_key, []).append(point)
 
-    rows: list[dict] = []
     for fabric_key, group in groups.items():
         cgra = build_fabric(group[0])
         with obs.span("dse.group", category="dse",
                       fabric=f"{cgra.rows}x{cgra.cols}",
                       topology=cgra.topology, points=len(group)):
-            rows.extend(_run_group(group, cgra, space, space_hash,
-                                   executor, cache, disk, index, seed,
-                                   stats, skip_unmappable, dfg_of,
-                                   blob_sink))
+            group_rows = _run_group(group, cgra, space, space_hash,
+                                    executor, cache, disk, index, seed,
+                                    stats, skip_unmappable, dfg_of,
+                                    blob_sink)
+        rows.extend(group_rows)
+        if manifest is not None:
+            # Checkpoint after every fabric group: a kill loses at most
+            # the group in flight.
+            manifest.record(group_rows)
+            manifest.flush()
     return rows
 
 
@@ -369,13 +476,15 @@ def _run_group(group: list[DesignPoint], cgra: CGRA, space: DesignSpace,
 def render_summary(result: dict, top: int = 10) -> str:
     """The human-facing sweep summary ``repro dse`` prints."""
     stats = result["stats"]
+    resumed = stats.get("resumed", 0)
     lines = [
         f"design space {result['space']['name']!r} "
         f"(hash {result['space_hash']}): {stats['points']} points, "
         f"{stats['compiles']} compiles, {stats['cache_hits']} cache "
         f"hits, {stats['aliased_blobs']} aliased blobs, "
-        f"{stats['unmappable']} unmappable "
-        f"[{stats['wall_ms']:.0f} ms]",
+        f"{stats['unmappable']} unmappable"
+        + (f", {resumed} resumed" if resumed else "")
+        + f" [{stats['wall_ms']:.0f} ms]",
         f"pareto frontier ({stats['frontier_size']} points, "
         f"minimizing {' x '.join(result['axes'])}):",
     ]

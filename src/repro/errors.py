@@ -56,4 +56,33 @@ class ScenarioError(StreamingError):
 
 
 class TraceFormatError(StreamingError):
-    """A replayed trace file violates the expected CSV schema."""
+    """A replayed trace file violates the expected CSV schema.
+
+    Carries the offending location and value as attributes so callers
+    (and the CLI) can report *what* was wrong, not just where:
+    ``path``/``line`` locate the row, ``column`` names the field and
+    ``value`` is the raw cell (or row) that failed validation. All are
+    ``None`` for file-level failures (missing file, empty trace).
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 line: int | None = None, column: str | None = None,
+                 value: str | None = None):
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.column = column
+        self.value = value
+
+
+class DSEError(IcedError):
+    """A design-space sweep was misconfigured (e.g. a resume manifest
+    that belongs to a different space)."""
+
+
+class FleetError(StreamingError):
+    """The multi-tenant fleet simulator hit an inconsistent state."""
+
+
+class PlacementError(FleetError):
+    """An unknown or infeasible fleet placement was requested."""

@@ -1,0 +1,264 @@
+"""Fleet placement: assign tenants to fabric instances.
+
+A *placement strategy* maps every tenant to one healthy fabric before
+the fleet simulation runs. Strategies live behind the same
+register-by-name idiom as the mapper backends and traffic scenarios:
+
+    from repro.fleet.placement import register_placement
+
+    @register_placement("my_strategy", description="...")
+    def _my_strategy(tenants, fabrics, seed):
+        return {t.tenant_id: fabrics[0].fabric_id for t in tenants}
+
+Placement is an *accounting* layer: it decides which fabric's books a
+tenant's cycles and energy land on (and therefore per-fabric load and
+utilization), but never perturbs the tenant's own simulated dynamics —
+that is what keeps every tenant's results float-identical to a
+standalone run and lets the differential suite pin the batched engine
+against N sequential simulations regardless of strategy.
+
+Failed fabrics (``FabricInstance.failed``) are excluded before the
+strategy runs; placing a fleet with no healthy fabric raises
+:class:`~repro.errors.PlacementError`, as does an unknown strategy
+name (listing the known ones) or a strategy returning an invalid
+assignment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "FabricInstance",
+    "PlacementRequest",
+    "PlacementSpec",
+    "describe_placements",
+    "get_placement",
+    "place_tenants",
+    "placement_names",
+    "register_placement",
+]
+
+
+@dataclass(frozen=True)
+class FabricInstance:
+    """One CGRA fabric in the fleet.
+
+    ``fabric_id`` doubles as the fabric's position on a row-major rack
+    grid (the topology the ``topology_aware`` strategy packs over);
+    ``failed`` marks it out of rotation.
+    """
+
+    fabric_id: int
+    name: str = ""
+    failed: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.name or f"fabric-{self.fabric_id:03d}"
+
+
+@dataclass(frozen=True)
+class PlacementRequest:
+    """What a strategy may know about a tenant: identity, which app it
+    runs (compiled artifacts are shared per app) and a load hint (its
+    stream length — the a-priori work estimate)."""
+
+    tenant_id: str
+    app: str
+    load_hint: float
+
+
+#: A strategy callable: (tenants, healthy fabrics, seed) -> assignment.
+PlacementFn = Callable[
+    [Sequence[PlacementRequest], Sequence[FabricInstance], int],
+    Mapping[str, int],
+]
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """One registered placement strategy."""
+
+    name: str
+    description: str
+    fn: PlacementFn
+
+
+_PLACEMENTS: dict[str, PlacementSpec] = {}
+
+
+def register_placement(name: str, *, description: str):
+    """Decorator registering a placement strategy under ``name``.
+
+    The decorated callable receives ``(tenants, fabrics, seed)`` where
+    ``fabrics`` holds only healthy instances, and must return a
+    ``{tenant_id: fabric_id}`` mapping covering every tenant.
+    """
+    if not name or any(c.isspace() for c in name):
+        raise PlacementError(f"invalid placement name {name!r}")
+
+    def decorate(fn: PlacementFn) -> PlacementFn:
+        if name in _PLACEMENTS:
+            raise PlacementError(
+                f"placement {name!r} is already registered"
+            )
+        _PLACEMENTS[name] = PlacementSpec(
+            name=name, description=description, fn=fn
+        )
+        return fn
+
+    return decorate
+
+
+def placement_names() -> list[str]:
+    """All registered strategy names, sorted."""
+    return sorted(_PLACEMENTS)
+
+
+def get_placement(name: str) -> PlacementSpec:
+    """The registered spec for ``name``; raises ``PlacementError`` with
+    the known names on a miss."""
+    try:
+        return _PLACEMENTS[name]
+    except KeyError:
+        raise PlacementError(
+            f"unknown placement {name!r} "
+            f"(known: {', '.join(placement_names())})"
+        )
+
+
+def describe_placements() -> list[dict[str, str]]:
+    """Name / description rows for the CLI listing."""
+    return [
+        {"name": spec.name, "description": spec.description}
+        for spec in (_PLACEMENTS[name] for name in placement_names())
+    ]
+
+
+def place_tenants(name: str,
+                  tenants: Sequence[PlacementRequest],
+                  fabrics: Sequence[FabricInstance],
+                  *, seed: int = 0) -> dict[str, int]:
+    """Run strategy ``name`` over the healthy fabrics and validate the
+    returned assignment (every tenant placed, only healthy fabrics
+    used)."""
+    spec = get_placement(name)
+    seen: set[int] = set()
+    for fabric in fabrics:
+        if fabric.fabric_id in seen:
+            raise PlacementError(
+                f"duplicate fabric_id {fabric.fabric_id}"
+            )
+        seen.add(fabric.fabric_id)
+    healthy = [f for f in fabrics if not f.failed]
+    if tenants and not healthy:
+        raise PlacementError(
+            f"no healthy fabrics to place {len(tenants)} tenants on "
+            f"({len(fabrics)} total, all failed)"
+        )
+    assignment = dict(spec.fn(tenants, healthy, seed))
+    healthy_ids = {f.fabric_id for f in healthy}
+    for tenant in tenants:
+        fabric_id = assignment.get(tenant.tenant_id)
+        if fabric_id is None:
+            raise PlacementError(
+                f"placement {name!r} left tenant "
+                f"{tenant.tenant_id!r} unassigned"
+            )
+        if fabric_id not in healthy_ids:
+            raise PlacementError(
+                f"placement {name!r} assigned tenant "
+                f"{tenant.tenant_id!r} to unavailable fabric "
+                f"{fabric_id}"
+            )
+    return {t.tenant_id: assignment[t.tenant_id] for t in tenants}
+
+
+# ---------------------------------------------------------------------------
+# Built-in strategies
+
+
+@register_placement(
+    "random",
+    description="uniform seeded choice among healthy fabrics (the "
+                "baseline every other strategy must beat on balance)")
+def _random(tenants: Sequence[PlacementRequest],
+            fabrics: Sequence[FabricInstance],
+            seed: int) -> dict[str, int]:
+    rng = make_rng(seed)
+    ids = [f.fabric_id for f in fabrics]
+    picks = rng.integers(0, len(ids), size=len(tenants))
+    return {
+        t.tenant_id: ids[int(pick)]
+        for t, pick in zip(tenants, picks)
+    }
+
+
+@register_placement(
+    "load_balanced",
+    description="greedy longest-processing-time: heaviest tenants "
+                "first, each to the currently least-loaded fabric")
+def _load_balanced(tenants: Sequence[PlacementRequest],
+                   fabrics: Sequence[FabricInstance],
+                   seed: int) -> dict[str, int]:
+    load = {f.fabric_id: 0.0 for f in fabrics}
+    order = sorted(tenants, key=lambda t: (-t.load_hint, t.tenant_id))
+    assignment: dict[str, int] = {}
+    for tenant in order:
+        fabric_id = min(load, key=lambda fid: (load[fid], fid))
+        assignment[tenant.tenant_id] = fabric_id
+        load[fabric_id] += tenant.load_hint
+    return assignment
+
+
+@register_placement(
+    "topology_aware",
+    description="pack same-app tenants onto contiguous fabric spans "
+                "(shared compiled artifacts, rack locality), balancing "
+                "load within each span")
+def _topology_aware(tenants: Sequence[PlacementRequest],
+                    fabrics: Sequence[FabricInstance],
+                    seed: int) -> dict[str, int]:
+    # Fabrics sit on a row-major rack grid ordered by id: a contiguous
+    # id span is a physically adjacent span. Give each app a span
+    # proportional to its share of the predicted load (at least one
+    # fabric), then balance greedily inside the span.
+    ids = sorted(f.fabric_id for f in fabrics)
+    by_app: dict[str, list[PlacementRequest]] = {}
+    for tenant in tenants:
+        by_app.setdefault(tenant.app, []).append(tenant)
+    total_load = sum(t.load_hint for t in tenants) or 1.0
+    assignment: dict[str, int] = {}
+    cursor = 0
+    apps = sorted(by_app)
+    for pos, app in enumerate(apps):
+        group = by_app[app]
+        remaining_apps = len(apps) - pos
+        remaining_fabrics = len(ids) - cursor
+        if remaining_fabrics <= 0:
+            # More apps than fabrics: the overflow apps balance over
+            # the whole grid instead of a private span.
+            span = ids
+        else:
+            share = sum(t.load_hint for t in group) / total_load
+            width = max(1, round(share * len(ids)))
+            # Never starve the apps still to come, never leave fabrics
+            # idle after the last app.
+            width = min(width, max(1, remaining_fabrics
+                                   - (remaining_apps - 1)))
+            if pos == len(apps) - 1:
+                width = remaining_fabrics
+            span = ids[cursor:cursor + width]
+            cursor += width
+        load = {fid: 0.0 for fid in span}
+        for tenant in sorted(group,
+                             key=lambda t: (-t.load_hint, t.tenant_id)):
+            fabric_id = min(load, key=lambda fid: (load[fid], fid))
+            assignment[tenant.tenant_id] = fabric_id
+            load[fabric_id] += tenant.load_hint
+    return assignment

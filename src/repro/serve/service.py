@@ -110,6 +110,18 @@ def _parse_shape(value, what: str) -> tuple[int, int]:
     return shape
 
 
+def _parse_tenant(value) -> str:
+    """Validate the optional ``tenant`` identity tag: a short opaque
+    token (no whitespace) or empty for anonymous requests."""
+    if not isinstance(value, str):
+        raise RequestError("tenant must be a string")
+    if any(c.isspace() for c in value):
+        raise RequestError(f"tenant must not contain whitespace: {value!r}")
+    if len(value) > 128:
+        raise RequestError("tenant must be at most 128 characters")
+    return value
+
+
 @dataclass(frozen=True)
 class CompileRequest:
     """One validated ``POST /compile`` body."""
@@ -122,6 +134,7 @@ class CompileRequest:
     island: tuple[int, int] = (2, 2)
     seed: int = 0
     priority: str = "batch"
+    tenant: str = ""
 
     @classmethod
     def from_dict(cls, body: dict) -> "CompileRequest":
@@ -129,7 +142,7 @@ class CompileRequest:
             raise RequestError("request body must be a JSON object")
         unknown = set(body) - {
             "kernel", "strategy", "backend", "unroll", "cgra", "island",
-            "seed", "priority",
+            "seed", "priority", "tenant",
         }
         if unknown:
             raise RequestError(f"unknown request fields: {sorted(unknown)}")
@@ -165,6 +178,7 @@ class CompileRequest:
             cgra=_parse_shape(body.get("cgra", "6x6"), "cgra"),
             island=_parse_shape(body.get("island", "2x2"), "island"),
             seed=seed, priority=priority,
+            tenant=_parse_tenant(body.get("tenant", "")),
         )
 
     def to_dict(self) -> dict:
@@ -173,6 +187,7 @@ class CompileRequest:
             "backend": self.backend, "unroll": self.unroll,
             "cgra": list(self.cgra), "island": list(self.island),
             "seed": self.seed, "priority": self.priority,
+            "tenant": self.tenant,
         }
 
 
@@ -186,6 +201,7 @@ class StreamRequest:
     window: int = 10
     seed: int | None = None
     priority: str = "batch"
+    tenant: str = ""
 
     @classmethod
     def from_dict(cls, body: dict) -> "StreamRequest":
@@ -196,6 +212,7 @@ class StreamRequest:
             raise RequestError("request body must be a JSON object")
         unknown = set(body) - {
             "scenario", "strategy", "inputs", "window", "seed", "priority",
+            "tenant",
         }
         if unknown:
             raise RequestError(f"unknown request fields: {sorted(unknown)}")
@@ -227,13 +244,15 @@ class StreamRequest:
         if inputs < 1 or window < 1:
             raise RequestError("inputs and window must be >= 1")
         return cls(scenario=scenario, strategy=strategy, inputs=inputs,
-                   window=window, seed=seed, priority=priority)
+                   window=window, seed=seed, priority=priority,
+                   tenant=_parse_tenant(body.get("tenant", "")))
 
     def to_dict(self) -> dict:
         return {
             "scenario": self.scenario, "strategy": self.strategy,
             "inputs": self.inputs, "window": self.window,
             "seed": self.seed, "priority": self.priority,
+            "tenant": self.tenant,
         }
 
 
@@ -248,6 +267,8 @@ class _Job:
     enqueued_at: float = 0.0
     waiters: int = 1
     seq: int = 0
+    #: Tenant tag of every waiter (joins included), for quota release.
+    tenants: list[str] = field(default_factory=list)
 
     @property
     def priority_rank(self) -> int:
@@ -268,10 +289,13 @@ class CompileService:
                  cache_dir: str | None = None,
                  shard: str | None = None,
                  retry_after_s: float = 1.0,
+                 tenant_quota: int | None = None,
                  compile_fn=None, stream_fn=None):
         self.workers = max(1, int(workers))
         self.max_queue = max(1, int(max_queue))
         self.retry_after_s = float(retry_after_s)
+        self.tenant_quota = (None if tenant_quota is None
+                             else max(1, int(tenant_quota)))
         self.cache_dir = cache_dir
         self.shard = shard
         memory = MappingCache()
@@ -288,6 +312,7 @@ class CompileService:
         self._worker_tasks: list[asyncio.Task] = []
         self._loop: asyncio.AbstractEventLoop | None = None
         self._seq = 0
+        self._tenant_pending: dict[str, int] = {}
         self._closing = False
         self._started_at = time.monotonic()
         # Per-process memos: fabrics and lowered DFGs are pure values
@@ -390,7 +415,12 @@ class CompileService:
                        "seed": request.seed}
         else:
             payload = {"stream": request.to_dict()}
+            # Neither priority nor tenant changes the computed result:
+            # identical work coalesces across admission classes and
+            # across tenants (quota accounting is per-waiter, not
+            # per-fingerprint).
             payload["stream"].pop("priority", None)
+            payload["stream"].pop("tenant", None)
         digest = hashlib.sha256(
             canonical_json(payload).encode("utf-8")
         ).hexdigest()
@@ -415,10 +445,24 @@ class CompileService:
             raise ServiceClosedError("service is draining; no new work")
         registry = obs.metrics()
         registry.counter("serve.requests").inc()
+        tenant = getattr(request, "tenant", "")
+        if (tenant and self.tenant_quota is not None
+                and self._tenant_pending.get(tenant, 0)
+                >= self.tenant_quota):
+            # Per-tenant fairness: one tenant flooding the daemon is
+            # pushed back before it can consume the shared queue (even
+            # via coalesced joins — a pending response is a pending
+            # response, however it is produced).
+            registry.counter("serve.tenant_rejected").inc()
+            raise QueueFullError(self.retry_after_s)
         fingerprint = self.fingerprint(request)
         job = self._inflight.get(fingerprint)
         if job is not None:
             job.waiters += 1
+            if tenant:
+                job.tenants.append(tenant)
+                self._tenant_pending[tenant] = (
+                    self._tenant_pending.get(tenant, 0) + 1)
             registry.counter("serve.coalesced").inc()
             return job.future
         if len(self._heap) >= self.max_queue:
@@ -432,6 +476,10 @@ class CompileService:
             future=self._loop.create_future(),
             enqueued_at=time.monotonic(), seq=self._seq,
         )
+        if tenant:
+            job.tenants.append(tenant)
+            self._tenant_pending[tenant] = (
+                self._tenant_pending.get(tenant, 0) + 1)
         self._inflight[fingerprint] = job
         heapq.heappush(self._heap, (job.priority_rank, job.seq, job))
         registry.gauge("serve.queue_depth").set(len(self._heap))
@@ -501,6 +549,13 @@ class CompileService:
         the cache) instead of receiving a stale future.
         """
         self._inflight.pop(job.fingerprint, None)
+        for tenant in job.tenants:
+            pending = self._tenant_pending.get(tenant, 0) - 1
+            if pending > 0:
+                self._tenant_pending[tenant] = pending
+            else:
+                self._tenant_pending.pop(tenant, None)
+        job.tenants.clear()
         obs.metrics().gauge("serve.in_flight").set(len(self._inflight))
         if job.future.cancelled():
             return
@@ -572,6 +627,10 @@ class CompileService:
             stats["cache_dir"] = str(self.cache_dir)
         return stats
 
+    def tenants_pending(self) -> dict[str, int]:
+        """Pending (queued or compiling) responses per tagged tenant."""
+        return dict(sorted(self._tenant_pending.items()))
+
     def health(self) -> dict:
         return {
             "status": "draining" if self._closing else "ok",
@@ -580,4 +639,6 @@ class CompileService:
             "in_flight": self.in_flight(),
             "workers": self.workers,
             "max_queue": self.max_queue,
+            "tenant_quota": self.tenant_quota,
+            "tenants_pending": self.tenants_pending(),
         }

@@ -58,6 +58,7 @@ from repro.streaming.workloads import (
 
 __all__ = [
     "DEFAULT_SCENARIO_INPUTS",
+    "FLEET_TRACE_PATH",
     "BranchyStream",
     "DiurnalStream",
     "ParetoBurstStream",
@@ -78,6 +79,11 @@ DEFAULT_SCENARIO_INPUTS = 600
 
 #: The bundled sample trace the ``trace_replay`` scenario cycles.
 DEFAULT_TRACE_PATH = Path(__file__).parent / "traces" / "enzyme_sample.csv"
+
+#: One simulated day of real-shaped arrivals (5-minute bins: diurnal
+#: curve, lunch dip, evening peak, two flash-crowd incidents) — the
+#: ``trace_fleet`` scenario and the fleet simulator's default stream.
+FLEET_TRACE_PATH = Path(__file__).parent / "traces" / "fleet_arrivals.csv"
 
 
 # ---------------------------------------------------------------------------
@@ -280,7 +286,9 @@ class TraceReplayStream:
                 if len(row) != len(names):
                     raise TraceFormatError(
                         f"{path}:{lineno}: expected {len(names)} "
-                        f"columns, got {len(row)}"
+                        f"columns, got {len(row)}: {row!r}",
+                        path=str(path), line=lineno,
+                        value=",".join(row),
                     )
                 for name, column, cell in zip(names, values, row):
                     try:
@@ -288,12 +296,16 @@ class TraceReplayStream:
                     except ValueError:
                         raise TraceFormatError(
                             f"{path}:{lineno}: column {name!r}: "
-                            f"{cell!r} is not a number"
+                            f"{cell!r} is not a number",
+                            path=str(path), line=lineno, column=name,
+                            value=cell,
                         )
                     if not math.isfinite(value):
                         raise TraceFormatError(
                             f"{path}:{lineno}: column {name!r}: "
-                            f"non-finite value {cell!r}"
+                            f"non-finite value {cell!r}",
+                            path=str(path), line=lineno, column=name,
+                            value=cell,
                         )
                     column.append(value)
         if not values[0]:
@@ -487,6 +499,18 @@ def _phase_shift(seed: int, n: int):
 def _trace_replay(seed: int, n: int):
     return TraceReplayStream(
         DEFAULT_TRACE_PATH, num_inputs=n,
+        columns=("n_nodes", "degree", "nnz", "features"),
+    )
+
+
+@register_scenario(
+    "trace_fleet", app=gcn_app,
+    description="one simulated day of real-shaped arrivals (diurnal "
+                "curve, lunch dip, evening peak, two flash crowds), "
+                "replayed from the bundled fleet trace (seed ignored)")
+def _trace_fleet(seed: int, n: int):
+    return TraceReplayStream(
+        FLEET_TRACE_PATH, num_inputs=n,
         columns=("n_nodes", "degree", "nnz", "features"),
     )
 

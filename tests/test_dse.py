@@ -237,3 +237,74 @@ def test_tag_sweep_keeps_first_producer(tmp_path):
     before = disk.meta(key)["sweep"]
     assert not disk.tag_sweep(key, "deadbeef0000", 99)
     assert disk.meta(key)["sweep"] == before
+
+
+# -- sweep resume ------------------------------------------------------------
+
+#: Two V/F depths -> two fabric groups -> the manifest checkpoints
+#: mid-sweep, which is what partial-resume needs to exercise.
+RESUME_SPACE = DesignSpace(name="resume", fabrics=((4, 4),),
+                           vf_levels=(3, 4),
+                           strategies=("baseline", "iced"),
+                           kernels=("fir",))
+
+
+def test_resume_replays_every_completed_row(tmp_path):
+    manifest = tmp_path / "sweep.resume.json"
+    first = run_dse(RESUME_SPACE, seed=0, resume=manifest)
+    assert manifest.exists()
+    second = run_dse(RESUME_SPACE, seed=0, resume=manifest)
+    assert second["points"] == first["points"]
+    assert second["frontier"] == first["frontier"]
+    assert second["stats"]["resumed"] == len(first["points"])
+    assert second["stats"]["compiles"] == 0
+    assert second["stats"]["cache_hits"] == 0
+
+
+def test_partial_manifest_compiles_only_the_rest(tmp_path):
+    manifest = tmp_path / "sweep.resume.json"
+    full = run_dse(RESUME_SPACE, seed=0, resume=manifest)
+    doc = json.loads(manifest.read_text(encoding="utf-8"))
+    kept = {index: row for index, row in doc["rows"].items()
+            if int(index) % 2 == 0}
+    doc["rows"] = kept
+    manifest.write_text(json.dumps(doc), encoding="utf-8")
+    resumed = run_dse(RESUME_SPACE, seed=0, resume=manifest)
+    assert resumed["points"] == full["points"]
+    assert resumed["stats"]["resumed"] == len(kept)
+    assert (resumed["stats"]["compiles"]
+            + resumed["stats"]["cache_hits"]) > 0
+    # The checkpoint now holds the whole sweep again.
+    refreshed = json.loads(manifest.read_text(encoding="utf-8"))
+    assert len(refreshed["rows"]) == len(full["points"])
+
+
+def test_manifest_from_another_space_is_refused(tmp_path):
+    from repro.errors import DSEError
+
+    manifest = tmp_path / "sweep.resume.json"
+    run_dse(RESUME_SPACE, seed=0, resume=manifest)
+    other = DesignSpace(fabrics=((4, 4),), strategies=("baseline",),
+                        kernels=("mvt",))
+    with pytest.raises(DSEError, match="space hash"):
+        run_dse(other, seed=0, resume=manifest)
+
+
+def test_resume_with_naive_is_an_error(tmp_path):
+    from repro.errors import DSEError
+
+    with pytest.raises(DSEError, match="naive"):
+        run_dse(RESUME_SPACE, seed=0, naive=True,
+                resume=tmp_path / "x.json")
+
+
+def test_corrupt_manifest_is_refused(tmp_path):
+    from repro.errors import DSEError
+
+    manifest = tmp_path / "sweep.resume.json"
+    manifest.write_text("not json", encoding="utf-8")
+    with pytest.raises(DSEError, match="unreadable"):
+        run_dse(RESUME_SPACE, seed=0, resume=manifest)
+    manifest.write_text(json.dumps({"schema": 99}), encoding="utf-8")
+    with pytest.raises(DSEError, match="schema"):
+        run_dse(RESUME_SPACE, seed=0, resume=manifest)

@@ -1,0 +1,294 @@
+"""Differential suite for the batched fleet engine.
+
+The contract under test: for every tenant in a homogeneous group, the
+tenant-major batched engine produces a ``StreamResult`` **equal** (by
+``asdict``, so every ``WindowStats`` field, float for float) to a
+standalone sequential fast-engine run over the same partition and
+stream — and therefore a whole ``FleetSim`` report is identical
+between ``batched=True`` and the per-tenant reference loop, for every
+placement strategy and strategy mix (DRIPS rides the sequential
+fallback inside the batched path).
+
+Partitions are the same lightweight fakes the streaming differential
+suite uses: the engines only consume ``app``/``cgra``/``placements``/
+``placement_of``/``ii_table``, so hypothesis can sweep shapes without
+paying for kernel mapping.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.errors import FleetError  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    FabricInstance,
+    FleetSim,
+    FleetSpec,
+    TenantSpec,
+    canonical_report,
+    simulate_group_batched,
+)
+
+# The built-ins by name, not placement_names(): other test modules
+# register throwaway strategies (that e.g. drop tenants on purpose)
+# and the registry is process-global.
+BUILTIN_PLACEMENTS = ("random", "load_balanced", "topology_aware")
+from repro.streaming import (  # noqa: E402
+    KernelStage,
+    StreamInput,
+    StreamingApp,
+    blocks_of,
+    fast_simulate_static,
+    fast_simulate_stream,
+    make_scenario,
+    streaming_cgra,
+)
+from repro.streaming.engine import _VECTOR_WINDOW_MIN  # noqa: E402
+
+CGRA = streaming_cgra()
+
+COMMON = dict(deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+class FakePlacement:
+    def __init__(self, kernel, islands: int, ii: int):
+        self.kernel = kernel
+        self.island_ids = list(range(islands))
+        self.ii = ii
+        self._tiles = 2 * islands
+
+    def tile_ids(self, cgra):
+        return list(range(self._tiles))
+
+
+class FakePartition:
+    def __init__(self, app, placements, ii_table):
+        self.app = app
+        self.cgra = CGRA
+        self.placements = placements
+        self.ii_table = ii_table
+        self._by_name = {p.kernel.name: p for p in placements}
+
+    def placement_of(self, name):
+        return self._by_name[name]
+
+
+def _dual_model(scale, offset):
+    return lambda item: scale * item.get("x") + offset
+
+
+def _scalar_only_model(scale):
+    return lambda item: item.get("x") ** 1.2 * scale
+
+
+def _fake_partition_for(app, draw):
+    placements = []
+    ii_table = {}
+    for kernel in app.all_kernels():
+        ii = draw(st.integers(min_value=1, max_value=8))
+        islands = draw(st.integers(min_value=1, max_value=2))
+        placements.append(FakePlacement(kernel, islands, ii))
+        for k in (1, 2, 3):
+            ii_table[(kernel.name, k)] = max(1, ii + 1 - k)
+    return FakePartition(app, placements, ii_table)
+
+
+@st.composite
+def group_cases(draw):
+    """A fake app plus T same-length integer-feature tenant streams."""
+    num_stages = draw(st.integers(min_value=1, max_value=3))
+    stages = []
+    placements = []
+    ii_table = {}
+    kernel_id = 0
+    for _ in range(num_stages):
+        width = draw(st.integers(min_value=1, max_value=2))
+        stage = []
+        for _ in range(width):
+            name = f"k{kernel_id}"
+            kernel_id += 1
+            scale = draw(st.sampled_from([1, 2, 3, 0.5, 1.5]))
+            if draw(st.booleans()):
+                offset = draw(st.integers(min_value=0, max_value=16))
+                model = _dual_model(scale, offset)
+                kernel = KernelStage(name=name, dfg=None,
+                                     iteration_model=model,
+                                     batch_model=model)
+            else:
+                kernel = KernelStage(
+                    name=name, dfg=None,
+                    iteration_model=_scalar_only_model(scale))
+            stage.append(kernel)
+            ii = draw(st.integers(min_value=1, max_value=8))
+            islands = draw(st.integers(min_value=1, max_value=2))
+            placements.append(FakePlacement(kernel, islands, ii))
+            for k in (1, 2, 3):
+                ii_table[(name, k)] = max(1, ii + 1 - k)
+        stages.append(stage)
+    app = StreamingApp(name="fake", stages=stages)
+    partition = FakePartition(app, placements, ii_table)
+
+    num_tenants = draw(st.integers(min_value=1, max_value=4))
+    num_inputs = draw(st.integers(min_value=1, max_value=60))
+    tenant_inputs = []
+    for _ in range(num_tenants):
+        xs = draw(st.lists(st.integers(min_value=1, max_value=10**6),
+                           min_size=num_inputs, max_size=num_inputs))
+        tenant_inputs.append(
+            [StreamInput(i, {"x": float(x)}) for i, x in enumerate(xs)]
+        )
+    window = draw(st.sampled_from([1, 3, 10, _VECTOR_WINDOW_MIN]))
+    block_size = draw(st.sampled_from([1, 5, 13, 8192]))
+    return partition, tenant_inputs, window, block_size
+
+
+@settings(max_examples=40, **COMMON)
+@given(group_cases(), st.sampled_from(["iced", "static"]))
+def test_batched_group_equals_sequential_runs(case, strategy):
+    partition, tenant_inputs, window, block_size = case
+    sequential_fn = (fast_simulate_stream if strategy == "iced"
+                     else fast_simulate_static)
+    batched = simulate_group_batched(
+        partition,
+        [blocks_of(inputs, block_size) for inputs in tenant_inputs],
+        window, strategy=strategy,
+    )
+    assert batched.num_tenants == len(tenant_inputs)
+    for t, inputs in enumerate(tenant_inputs):
+        sequential = sequential_fn(
+            partition, blocks_of(inputs, block_size), window=window)
+        assert asdict(batched.tenant_result(t)) == asdict(sequential)
+
+
+@st.composite
+def real_scenario_groups(draw):
+    """T tenants of one registered scenario (distinct seeds), with a
+    drawn fake partition over the scenario's real app."""
+    name = draw(st.sampled_from(
+        ["enzyme", "bursty", "diurnal", "trace_fleet"]))
+    num_tenants = draw(st.integers(min_value=2, max_value=4))
+    n = draw(st.integers(min_value=1, max_value=50))
+    seeds = draw(st.lists(st.integers(min_value=0, max_value=2**16),
+                          min_size=num_tenants, max_size=num_tenants,
+                          unique=True))
+    scenarios = [make_scenario(name, seed=seed, n=n) for seed in seeds]
+    partition = _fake_partition_for(scenarios[0].app, draw)
+    window = draw(st.sampled_from([1, 10, _VECTOR_WINDOW_MIN]))
+    return partition, scenarios, window
+
+
+@settings(max_examples=25, **COMMON)
+@given(real_scenario_groups(), st.sampled_from(["iced", "static"]))
+def test_real_scenario_group_equals_sequential_runs(case, strategy):
+    partition, scenarios, window = case
+    sequential_fn = (fast_simulate_stream if strategy == "iced"
+                     else fast_simulate_static)
+    batched = simulate_group_batched(
+        partition, [s.feature_blocks() for s in scenarios],
+        window, strategy=strategy,
+    )
+    for t, scenario in enumerate(scenarios):
+        sequential = sequential_fn(partition, scenario.feature_blocks(),
+                                   window=window)
+        assert asdict(batched.tenant_result(t)) == asdict(sequential)
+
+
+# -- whole-fleet identity -----------------------------------------------------
+
+
+@st.composite
+def fleet_cases(draw):
+    """A mixed-scenario, mixed-strategy fleet with fake partitions for
+    every app it touches."""
+    num_tenants = draw(st.integers(min_value=2, max_value=8))
+    num_fabrics = draw(st.integers(min_value=1, max_value=4))
+    placement = draw(st.sampled_from(BUILTIN_PLACEMENTS))
+    window = draw(st.sampled_from([5, 10, _VECTOR_WINDOW_MIN]))
+    inputs = draw(st.integers(min_value=5, max_value=40))
+    scenario_mix = draw(st.lists(
+        st.sampled_from(["enzyme", "bursty", "diurnal", "trace_fleet"]),
+        min_size=1, max_size=3, unique=True))
+    strategy_mix = draw(st.lists(
+        st.sampled_from(["iced", "static", "drips"]),
+        min_size=1, max_size=3, unique=True))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    tenants = [
+        TenantSpec(
+            tenant_id=f"t{i:05d}",
+            scenario=scenario_mix[i % len(scenario_mix)],
+            seed=seed + i, inputs=inputs, window=window,
+            strategy=strategy_mix[i % len(strategy_mix)],
+        )
+        for i in range(num_tenants)
+    ]
+    failed = draw(st.sets(st.integers(0, num_fabrics - 1),
+                          max_size=max(0, num_fabrics - 1)))
+    fabrics = [FabricInstance(fabric_id=i, failed=i in failed)
+               for i in range(num_fabrics)]
+    spec = FleetSpec(tenants=tenants, fabrics=fabrics,
+                     placement=placement, seed=seed)
+    partitions = {}
+    for tenant in tenants:
+        scenario = make_scenario(tenant.scenario, seed=tenant.seed, n=4)
+        if scenario.app.name not in partitions:
+            partitions[scenario.app.name] = _fake_partition_for(
+                scenario.app, draw)
+    return spec, partitions
+
+
+@settings(max_examples=20, **COMMON)
+@given(fleet_cases())
+def test_fleet_report_batched_equals_reference(case):
+    spec, partitions = case
+    batched = FleetSim(spec, partitions=partitions).run(batched=True)
+    reference = FleetSim(spec, partitions=partitions).run(batched=False)
+    assert canonical_report(batched) == canonical_report(reference)
+    assert batched["stats"]["batched"] is True
+    assert reference["stats"]["fallback_runs"] == len(spec.tenants)
+
+
+# -- engine error paths -------------------------------------------------------
+
+
+def _tiny_partition():
+    kernel = KernelStage(name="k0", dfg=None,
+                         iteration_model=_dual_model(1, 0),
+                         batch_model=_dual_model(1, 0))
+    app = StreamingApp(name="fake", stages=[[kernel]])
+    return FakePartition(app, [FakePlacement(kernel, 1, 2)],
+                         {("k0", k): 2 for k in (1, 2, 3)})
+
+
+def _inputs(n):
+    return [StreamInput(i, {"x": 1.0}) for i in range(n)]
+
+
+class TestBatchedEngineErrors:
+    def test_empty_group_is_an_error(self):
+        with pytest.raises(FleetError, match="empty tenant group"):
+            simulate_group_batched(_tiny_partition(), [], 10)
+
+    def test_mismatched_stream_lengths_are_an_error(self):
+        with pytest.raises(FleetError, match="different window grid"):
+            simulate_group_batched(
+                _tiny_partition(),
+                [blocks_of(_inputs(10), 5), blocks_of(_inputs(7), 5)],
+                10,
+            )
+
+    def test_unbatchable_strategy_is_an_error(self):
+        with pytest.raises(FleetError, match="cannot batch"):
+            simulate_group_batched(
+                _tiny_partition(), [blocks_of(_inputs(4), 2)], 10,
+                strategy="drips",
+            )
+
+    def test_bad_window_is_an_error(self):
+        with pytest.raises(FleetError, match="window"):
+            simulate_group_batched(
+                _tiny_partition(), [blocks_of(_inputs(4), 2)], 0)

@@ -276,6 +276,117 @@ class TestAdmission:
             service.submit(request_for())
 
 
+# -- per-tenant quotas --------------------------------------------------------
+
+
+class TestTenantQuota:
+    def test_tenant_field_validation(self):
+        req = CompileRequest.from_dict({"kernel": "fir",
+                                        "tenant": "acme"})
+        assert req.tenant == "acme"
+        assert req.to_dict()["tenant"] == "acme"
+        for bad in ["has space", "tab\there", 7, "x" * 129]:
+            with pytest.raises(RequestError):
+                CompileRequest.from_dict({"kernel": "fir", "tenant": bad})
+            with pytest.raises(RequestError):
+                StreamRequest.from_dict({"scenario": "bursty",
+                                         "tenant": bad})
+
+    def test_tenant_is_not_identity(self, registry):
+        """Identical work coalesces across tenants: the tenant tag is
+        quota accounting, not part of the computed result."""
+        service = CompileService(workers=1)
+        a = StreamRequest.from_dict({"scenario": "bursty",
+                                     "tenant": "acme"})
+        b = StreamRequest.from_dict({"scenario": "bursty",
+                                     "tenant": "globex"})
+        assert service.fingerprint(a) == service.fingerprint(b)
+
+    def test_quota_refuses_the_flooding_tenant_only(self, registry):
+        async def body():
+            gate = threading.Event()
+            seam = Seam(gate)
+            service = CompileService(workers=1, max_queue=64,
+                                     tenant_quota=2, retry_after_s=0.5,
+                                     compile_fn=seam)
+            await service.start()
+            try:
+                futures = [
+                    service.submit(request_for(seed=0, tenant="acme")),
+                    service.submit(request_for(seed=1, tenant="acme")),
+                ]
+                with pytest.raises(QueueFullError) as excinfo:
+                    service.submit(request_for(seed=2, tenant="acme"))
+                assert excinfo.value.retry_after_s == 0.5
+                # Other tenants and anonymous requests are unaffected.
+                futures.append(
+                    service.submit(request_for(seed=3, tenant="globex")))
+                futures.append(service.submit(request_for(seed=4)))
+                assert service.health()["tenants_pending"] == {
+                    "acme": 2, "globex": 1,
+                }
+                gate.set()
+                outcomes = await asyncio.gather(*futures)
+            finally:
+                await service.shutdown()
+            assert all(o["status"] == 200 for o in outcomes)
+            counters = registry.counters()
+            assert counters["serve.tenant_rejected"] == 1
+            assert counters.get("serve.rejected", 0) == 0
+            # Resolution released every slot.
+            assert service.tenants_pending() == {}
+
+        run(body())
+
+    def test_coalesced_joins_consume_quota(self, registry):
+        async def body():
+            gate = threading.Event()
+            seam = Seam(gate)
+            service = CompileService(workers=1, tenant_quota=2,
+                                     compile_fn=seam)
+            await service.start()
+            try:
+                first = service.submit(request_for(tenant="acme"))
+                joined = service.submit(request_for(tenant="acme"))
+                assert joined is first  # one job, two pending responses
+                with pytest.raises(QueueFullError):
+                    service.submit(request_for(tenant="acme"))
+                gate.set()
+                outcome = await first
+            finally:
+                await service.shutdown()
+            assert outcome["status"] == 200
+            assert outcome["body"]["waiters"] == 2
+            assert service.tenants_pending() == {}
+
+        run(body())
+
+    def test_quota_releases_after_resolution(self, registry):
+        async def body():
+            seam = Seam()
+            service = CompileService(workers=1, tenant_quota=1,
+                                     compile_fn=seam)
+            await service.start()
+            try:
+                first = await service.submit(request_for(seed=0,
+                                                         tenant="acme"))
+                second = await service.submit(request_for(seed=1,
+                                                          tenant="acme"))
+            finally:
+                await service.shutdown()
+            assert first["status"] == 200 and second["status"] == 200
+            assert len(seam.calls) == 2
+
+        run(body())
+
+    def test_health_reports_quota(self, registry):
+        service = CompileService(workers=1, tenant_quota=8)
+        health = service.health()
+        assert health["tenant_quota"] == 8
+        assert health["tenants_pending"] == {}
+        assert CompileService(workers=1).health()["tenant_quota"] is None
+
+
 # -- priorities ---------------------------------------------------------------
 
 
